@@ -1,0 +1,29 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/characterize_and_deploy.py
+	$(PYTHON) examples/temperature_study.py
+	$(PYTHON) examples/ecc_comparison.py
+	$(PYTHON) examples/distribution_explorer.py
+	$(PYTHON) examples/figure_gallery.py
+	$(PYTHON) examples/ssd_trace_simulation.py
+
+figures:
+	$(PYTHON) -m repro figure fig13
+	$(PYTHON) -m repro figure table1 --kind qlc
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

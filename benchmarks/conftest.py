@@ -1,0 +1,31 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding ``repro.exp`` driver (timed by pytest-benchmark), prints the
+same rows/series the paper reports, and sanity-asserts the qualitative
+shape.  Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+
+
+def emit(title, rows, headers=None):
+    """Print one reproduced table with a recognizable banner."""
+    print()
+    print("=" * 72)
+    print(format_table(rows, headers=headers, title=title))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_models():
+    """Fit the sentinel models once so benchmarks time the experiments,
+    not the shared factory characterization."""
+    from repro.exp.common import trained_model
+
+    trained_model("tlc")
+    trained_model("qlc")

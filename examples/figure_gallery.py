@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Figure gallery: render key paper figures as ASCII charts in the terminal.
+
+Regenerates a selection of the paper's figures with the experiment drivers
+and draws them with :mod:`repro.analysis.ascii_plot` — no plotting library
+required.
+
+Run:  python examples/figure_gallery.py [fig2|fig6|fig7|fig10|fig13|all]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.ascii_plot import density_plot, line_plot, scatter_plot
+
+
+def fig2() -> None:
+    from repro.exp.fig2 import run_fig2
+
+    r = run_fig2("tlc", vindex=4, wordlines=(0, 16, 32, 48))
+    print(
+        line_plot(
+            r.offsets,
+            {"bit errors": r.errors},
+            title=(
+                "\nFigure 2 - errors vs V4 offset (TLC). "
+                f"Optimal ~{r.optimal:+.0f}, {r.reduction:.0f}x below default."
+            ),
+            height=14,
+        )
+    )
+
+
+def fig6() -> None:
+    from repro.exp.fig6 import run_fig6
+
+    r = run_fig6("qlc", layer_step=2)
+    series = {
+        f"V{v}": r.voltage_column(v) for v in (2, 8, 15)
+    }
+    print(
+        line_plot(
+            r.layers,
+            series,
+            title="\nFigure 6 - optimal offsets per layer (QLC, 3K P/E, 1 yr)",
+            height=14,
+        )
+    )
+
+
+def fig7() -> None:
+    from repro.exp.fig7 import run_fig7
+
+    r = run_fig7("qlc", wordline_step=4, max_points_per_wordline=60)
+    print(
+        density_plot(
+            r.points[:, 1],
+            r.points[:, 0],
+            width=68,
+            height=22,
+            title=(
+                "\nFigure 7 - error positions (x: bitline, y: wordline). "
+                "Stripes across, uniform along."
+            ),
+        )
+    )
+
+
+def fig10() -> None:
+    from repro.exp.fig10 import run_fig10
+
+    r = run_fig10("qlc", wordline_step=4)
+    print(
+        scatter_plot(
+            r.train_d_rates,
+            r.train_optima,
+            title=(
+                "\nFigure 10 (left) - optimal V8 offset vs error-difference "
+                "rate (QLC training data)"
+            ),
+            height=16,
+        )
+    )
+    print(
+        line_plot(
+            r.wordlines,
+            {"groundtruth": r.groundtruth, "inferred": r.inferred},
+            title=(
+                "\nFigure 10 (right) - inferred vs groundtruth per wordline "
+                f"(mean |err| {r.mean_abs_error():.1f} steps)"
+            ),
+            height=12,
+        )
+    )
+
+
+def fig13() -> None:
+    from repro.exp.fig13 import run_fig13
+
+    r = run_fig13("tlc", n_wordlines=120, wordline_step=2)
+    print(
+        line_plot(
+            r.wordlines,
+            {
+                "current flash": r.current_retries,
+                "sentinel": r.sentinel_retries,
+            },
+            title=(
+                "\nFigure 13 - retries per wordline (TLC aged). "
+                f"Means {r.current_mean:.1f} vs {r.sentinel_mean:.1f} "
+                f"(-{r.reduction:.0%})."
+            ),
+            height=12,
+        )
+    )
+
+
+GALLERY = {"fig2": fig2, "fig6": fig6, "fig7": fig7, "fig10": fig10,
+           "fig13": fig13}
+
+
+def main() -> None:
+    selection = sys.argv[1:] or ["all"]
+    names = list(GALLERY) if selection == ["all"] else selection
+    for name in names:
+        if name not in GALLERY:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from {sorted(GALLERY)}"
+            )
+        GALLERY[name]()
+
+
+if __name__ == "__main__":
+    main()

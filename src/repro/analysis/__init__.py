@@ -1,0 +1,20 @@
+"""Reporting and analysis helpers shared by benchmarks and examples."""
+
+from repro.analysis.report import format_table, print_table
+from repro.analysis.ascii_plot import density_plot, line_plot, scatter_plot
+from repro.analysis.distributions import (
+    estimate_states,
+    full_axis_histogram,
+    true_state_statistics,
+)
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "density_plot",
+    "line_plot",
+    "scatter_plot",
+    "estimate_states",
+    "full_axis_histogram",
+    "true_state_statistics",
+]

@@ -1,0 +1,124 @@
+"""Terminal plotting: line charts and scatters without any plotting library.
+
+The benchmark harness prints tables; the examples additionally render the
+paper's figures as ASCII charts so the shapes are visible in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    """Map values into integer cell indices [0, cells-1]."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    frac = (np.asarray(values, dtype=float) - lo) / (hi - lo)
+    return np.clip((frac * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    logy: bool = False,
+) -> str:
+    """Render one or more y-series over a shared x-axis."""
+    x = np.asarray(x, dtype=float)
+    data = {}
+    for name, ys in series.items():
+        ys = np.asarray(ys, dtype=float)
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+        data[name] = np.log10(np.maximum(ys, 1e-12)) if logy else ys
+    lo = min(float(np.nanmin(v)) for v in data.values())
+    hi = max(float(np.nanmax(v)) for v in data.values())
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(x, float(x.min()), float(x.max()), width)
+    for gi, (name, ys) in enumerate(data.items()):
+        rows = _scale(ys, lo, hi, height)
+        glyph = _GLYPHS[gi % len(_GLYPHS)]
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    top = 10**hi if logy else hi
+    bottom = 10**lo if logy else lo
+    lines.append(f"{top:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{bottom:10.3g} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x.min():<10.4g}" + " " * max(width - 20, 1) + f"{x.max():>10.4g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(data)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+    glyph: str = ".",
+) -> str:
+    """Render an (x, y) point cloud (e.g. the Figure 7 error map)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y):
+        raise ValueError("x and y length mismatch")
+    if len(x) == 0:
+        return title or ""
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(x, float(x.min()), float(x.max()), width)
+    rows = _scale(y, float(y.min()), float(y.max()), height)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def density_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 64,
+    height: int = 20,
+    title: Optional[str] = None,
+) -> str:
+    """Scatter with density shading (darker glyph = more points)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) == 0:
+        return title or ""
+    counts = np.zeros((height, width), dtype=int)
+    cols = _scale(x, float(x.min()), float(x.max()), width)
+    rows = _scale(y, float(y.min()), float(y.max()), height)
+    for c, r in zip(cols, rows):
+        counts[height - 1 - r][c] += 1
+    shades = " .:-=+*#%@"
+    peak = counts.max() or 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for row in counts:
+        level = (row / peak * (len(shades) - 1)).astype(int)
+        lines.append("|" + "".join(shades[v] for v in level) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for benchmark/example output.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; this module keeps that output aligned and greppable without pulling
+in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _stringify(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    rows: Iterable[Sequence],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Format rows (sequences of cells) as an aligned text table."""
+    str_rows: List[List[str]] = [[_stringify(c) for c in row] for row in rows]
+    if headers is not None:
+        str_rows.insert(0, [str(h) for h in headers])
+    if not str_rows:
+        return title or ""
+    width = max(len(r) for r in str_rows)
+    for row in str_rows:
+        row.extend([""] * (width - len(row)))
+    col_w = [max(len(r[i]) for r in str_rows) for i in range(width)]
+    lines = []
+    if title:
+        lines.append(title)
+    for idx, row in enumerate(str_rows):
+        lines.append("  ".join(c.ljust(col_w[i]) for i, c in enumerate(row)).rstrip())
+        if headers is not None and idx == 0:
+            lines.append("  ".join("-" * col_w[i] for i in range(width)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Iterable[Sequence],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> None:
+    print(format_table(rows, headers=headers, title=title))

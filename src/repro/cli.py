@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``characterize``  run the factory sweep on a training die and write the
+                  sentinel model JSON artifact.
+``read``          serve one page read on an aged die with every policy and
+                  show the retry/latency accounting.
+``simulate``      trace-driven SSD comparison (synthetic or real MSR CSV).
+``overhead``      sentinel space-overhead report for a chip/ratio.
+``figure``        run one paper-figure driver and print its rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _spec(kind: str, cells: int, wordlines_per_layer: int = 4):
+    from repro.exp.common import sim_spec
+
+    return sim_spec(kind, cells_per_wordline=cells,
+                    wordlines_per_layer=wordlines_per_layer)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_characterize(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.characterization import characterize_chip
+    from repro.exp.common import training_stresses
+    from repro.flash.chip import FlashChip
+
+    spec = _spec(args.kind, args.cells)
+    chip = FlashChip(spec, seed=args.seed, sentinel_ratio=args.ratio)
+    print(f"characterizing {spec.name} (seed={args.seed}) ...")
+    result = characterize_chip(
+        chip,
+        blocks=(0,),
+        stresses=training_stresses(args.kind),
+        wordlines=range(0, spec.wordlines_per_block, args.wordline_step),
+    )
+    result.model.save(args.out)
+    resid = np.abs(result.inference_residuals()).mean()
+    print(
+        f"fitted on {len(result.d_rates)} samples; "
+        f"residual {resid:.2f} steps; model -> {args.out}"
+    )
+    return 0
+
+
+def cmd_read(args: argparse.Namespace) -> int:
+    from repro.analysis import print_table
+    from repro.core.controller import SentinelController
+    from repro.core.models import SentinelModel
+    from repro.ecc.capability import CapabilityEcc
+    from repro.flash.chip import FlashChip
+    from repro.flash.mechanisms import StressState
+    from repro.retry import CurrentFlashPolicy, OraclePolicy
+    from repro.ssd.timing import NandTiming
+
+    spec = _spec(args.kind, args.cells)
+    chip = FlashChip(spec, seed=args.seed)
+    chip.set_block_stress(
+        args.block,
+        StressState(
+            pe_cycles=args.pe,
+            retention_hours=args.retention_hours,
+            temperature_c=args.temperature,
+        ),
+    )
+    ecc = CapabilityEcc.for_spec(spec)
+    if args.model:
+        model = SentinelModel.load(args.model)
+    else:
+        from repro.exp.common import trained_model
+
+        model = trained_model(args.kind)
+    wl = chip.wordline(args.block, args.wordline)
+    timing = NandTiming()
+    rows = []
+    for policy in (
+        CurrentFlashPolicy(ecc, spec),
+        SentinelController(ecc, model),
+        OraclePolicy(ecc),
+    ):
+        o = policy.read(wl, args.page)
+        rows.append(
+            (
+                policy.name,
+                o.retries,
+                o.extra_single_reads,
+                f"{timing.read_outcome_us(o):.0f} us",
+                f"{o.final_rber:.2e}",
+                "ok" if o.success else "FAIL",
+            )
+        )
+    print_table(
+        rows,
+        headers=["policy", "retries", "aux reads", "latency", "RBER", "status"],
+        title=(
+            f"{spec.name} block {args.block} wordline {args.wordline} "
+            f"page {args.page} (P/E {args.pe}, {args.retention_hours:.0f} h, "
+            f"{args.temperature:.0f} degC)"
+        ),
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis import print_table
+    from repro.exp.fig14 import run_fig14
+    from repro.traces.msr import load_msr_trace
+
+    traces = None
+    workloads: Optional[List[str]] = args.workloads or None
+    if args.trace:
+        traces = {}
+        for path in args.trace:
+            t = load_msr_trace(path, max_requests=args.requests)
+            traces[t.name] = t
+        workloads = list(traces)
+    result = run_fig14(
+        args.kind,
+        workloads=workloads,
+        traces=traces,
+        n_requests=args.requests,
+        rate_scale=args.rate_scale,
+    )
+    rows = [(n, f"{r:.1%}") for n, r in sorted(result.reductions.items())]
+    rows.append(("average", f"{result.average_reduction:.1%}"))
+    print_table(rows, headers=["workload", "read-latency reduction"])
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.core.sentinel import sentinel_overhead
+    from repro.flash.spec import MLC_SPEC, QLC_SPEC, TLC_SPEC
+
+    spec = {"tlc": TLC_SPEC, "qlc": QLC_SPEC, "mlc": MLC_SPEC}[args.kind]
+    report = sentinel_overhead(spec, args.ratio)
+    print(f"{spec.name}: {report.describe()}")
+    print(
+        f"  page {spec.page_bytes} B = user {spec.user_bytes} B + OOB "
+        f"{spec.oob_bytes} B (parity {spec.ecc_parity_bytes} B, free "
+        f"{spec.oob_free_bytes} B)"
+    )
+    return 0
+
+
+_FIGURES = {
+    "fig2": ("repro.exp.fig2", "run_fig2"),
+    "fig3": ("repro.exp.fig3", "run_fig3"),
+    "fig4": ("repro.exp.fig4", "run_fig4"),
+    "fig5": ("repro.exp.fig5", "run_fig5"),
+    "fig6": ("repro.exp.fig6", "run_fig6"),
+    "fig7": ("repro.exp.fig7", "run_fig7"),
+    "fig8": ("repro.exp.fig8", "run_fig8"),
+    "fig10": ("repro.exp.fig10", "run_fig10"),
+    "fig12": ("repro.exp.fig12", "run_fig12"),
+    "fig13": ("repro.exp.fig13", "run_fig13"),
+    "fig14": ("repro.exp.fig14", "run_fig14"),
+    "fig15": ("repro.exp.fig15", "run_fig15"),
+    "fig16": ("repro.exp.fig16", "run_fig16"),
+    "fig17": ("repro.exp.fig16", "run_fig17"),
+    "fig18": ("repro.exp.fig18", "run_fig18"),
+    "fig19": ("repro.exp.fig19", "run_fig19"),
+    "table1": ("repro.exp.table1", "run_table1"),
+    "read-disturb": ("repro.exp.read_disturb", "run_read_disturb"),
+    "batch-transfer": ("repro.exp.batch_transfer", "run_batch_transfer"),
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.analysis import print_table
+
+    module_name, func_name = _FIGURES[args.name]
+    driver = getattr(importlib.import_module(module_name), func_name)
+    kwargs = {}
+    if args.kind and func_name not in ("run_fig16", "run_fig17"):
+        kwargs["kind"] = args.kind
+    result = driver(**kwargs)
+    print_table(result.rows(), title=f"{args.name} ({args.kind or 'default'})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sentinel-assisted fast read over 3D flash (MICRO'20 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="tlc")
+        p.add_argument("--cells", type=int, default=65536,
+                       help="cells per simulated wordline")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("characterize", help="fit and save a sentinel model")
+    add_common(p)
+    p.set_defaults(seed=100)
+    p.add_argument("--out", required=True, help="output model JSON path")
+    p.add_argument("--ratio", type=float, default=0.002)
+    p.add_argument("--wordline-step", type=int, default=4)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("read", help="serve one page read with every policy")
+    add_common(p)
+    p.add_argument("--model", help="sentinel model JSON (default: fit in-process)")
+    p.add_argument("--block", type=int, default=0)
+    p.add_argument("--wordline", type=int, default=10)
+    p.add_argument("--page", default="MSB")
+    p.add_argument("--pe", type=int, default=5000)
+    p.add_argument("--retention-hours", type=float, default=8760.0)
+    p.add_argument("--temperature", type=float, default=25.0)
+    p.set_defaults(func=cmd_read)
+
+    p = sub.add_parser("simulate", help="trace-driven SSD comparison")
+    p.add_argument("--kind", choices=["tlc", "qlc"], default="tlc")
+    p.add_argument("--workloads", nargs="*", help="synthetic workload names")
+    p.add_argument("--trace", nargs="*", help="MSR CSV files to replay")
+    p.add_argument("--requests", type=int, default=6000)
+    p.add_argument("--rate-scale", type=float, default=20.0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("overhead", help="sentinel space-overhead report")
+    p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="qlc")
+    p.add_argument("--ratio", type=float, default=0.002)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("figure", help="run one paper-figure driver")
+    p.add_argument("name", choices=sorted(_FIGURES))
+    p.add_argument("--kind", choices=["tlc", "qlc"], default=None)
+    p.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""Offline characterization: collect training data and fit the sentinel model.
+
+Mirrors the paper's manufacturing-time procedure: pick one or several chips
+of a batch, sweep blocks across stress conditions (P/E cycles, retention,
+temperature), and for every wordline record
+
+* the sentinel error-difference rate ``d`` measured at the *default*
+  sentinel voltage (what the controller will see on a failed read), and
+* the ground-truth optimal offsets of every read voltage (what an exhaustive
+  read sweep finds).
+
+The degree-5 polynomial of Figure 10 and the linear correlation tables of
+Figure 8 are fitted from these samples; temperature-range bins get separate
+correlation tables (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fitting import fit_difference_polynomial, fit_linear_correlations
+from repro.core.models import CorrelationTable, SentinelModel
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.flash.optimal import optimal_offsets
+
+#: Default stress sweep: the conditions Section III collects data under.
+DEFAULT_TRAINING_STRESSES: Tuple[StressState, ...] = (
+    StressState(pe_cycles=1000, retention_hours=24 * 30),
+    StressState(pe_cycles=3000, retention_hours=8760),
+    StressState(pe_cycles=5000, retention_hours=8760),
+)
+
+#: Default temperature bin edges (degC) for the correlation tables.
+DEFAULT_TEMP_BINS: Tuple[float, ...] = (-273.0, 55.0, 1000.0)
+
+
+@dataclass
+class CharacterizationResult:
+    """Training samples plus the fitted model."""
+
+    model: SentinelModel
+    d_rates: np.ndarray  # (n_samples,)
+    optima: np.ndarray  # (n_samples, n_voltages) ground-truth offsets
+    temperatures: np.ndarray  # (n_samples,)
+    stress_labels: List[str] = field(default_factory=list)
+
+    @property
+    def sentinel_optima(self) -> np.ndarray:
+        return self.optima[:, self.model.sentinel_voltage - 1]
+
+    def inference_residuals(self) -> np.ndarray:
+        """Training-set residuals of the d->offset polynomial (in steps)."""
+        predicted = self.model.difference_poly(self.d_rates)
+        return predicted - self.sentinel_optima
+
+
+def characterize_chip(
+    chip: FlashChip,
+    blocks: Sequence[int] = (0, 1),
+    stresses: Sequence[StressState] = DEFAULT_TRAINING_STRESSES,
+    wordlines: Optional[Sequence[int]] = None,
+    degree: int = 5,
+    temp_bin_edges: Sequence[float] = DEFAULT_TEMP_BINS,
+) -> CharacterizationResult:
+    """Run the full characterization sweep and fit a :class:`SentinelModel`.
+
+    ``wordlines`` restricts the sweep (default: every wordline of each
+    block); hundreds of (d, V_opt) pairs are plenty, per the paper.
+    """
+    if chip.sentinel_ratio <= 0:
+        raise ValueError("characterization requires a chip with sentinel cells")
+    spec = chip.spec
+    d_rates: List[float] = []
+    optima_rows: List[np.ndarray] = []
+    temps: List[float] = []
+    labels: List[str] = []
+
+    for stress in stresses:
+        for block in blocks:
+            chip.set_block_stress(block, stress)
+            for wl in chip.iter_wordlines(block, wordlines):
+                readout = wl.sentinel_readout(0.0)
+                d_rates.append(readout.difference_rate)
+                optima_rows.append(optimal_offsets(wl))
+                temps.append(stress.temperature_c)
+                labels.append(
+                    f"pe={stress.pe_cycles},ret={stress.retention_hours}h,"
+                    f"T={stress.temperature_c}C"
+                )
+
+    d_arr = np.asarray(d_rates)
+    optima = np.vstack(optima_rows)
+    temp_arr = np.asarray(temps)
+
+    poly = fit_difference_polynomial(
+        d_arr, optima[:, spec.sentinel_voltage - 1], degree=degree
+    )
+
+    tables: List[CorrelationTable] = []
+    edges = list(temp_bin_edges)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (temp_arr >= lo) & (temp_arr < hi)
+        if mask.sum() < 2:
+            continue
+        slopes, intercepts, _ = fit_linear_correlations(
+            optima[mask], spec.sentinel_voltage
+        )
+        tables.append(
+            CorrelationTable(
+                temp_low_c=lo, temp_high_c=hi, slopes=slopes, intercepts=intercepts
+            )
+        )
+    if not tables:  # all samples in one unexpected range: fit globally
+        slopes, intercepts, _ = fit_linear_correlations(
+            optima, spec.sentinel_voltage
+        )
+        tables.append(
+            CorrelationTable(
+                temp_low_c=-273.0, temp_high_c=1000.0,
+                slopes=slopes, intercepts=intercepts,
+            )
+        )
+
+    model = SentinelModel(
+        spec_name=spec.name,
+        sentinel_voltage=spec.sentinel_voltage,
+        n_voltages=spec.n_voltages,
+        difference_poly=poly,
+        correlations=tables,
+    )
+    return CharacterizationResult(
+        model=model,
+        d_rates=d_arr,
+        optima=optima,
+        temperatures=temp_arr,
+        stress_labels=labels,
+    )

@@ -1,0 +1,139 @@
+"""The sentinel read controller: the paper's online read flow.
+
+For a page read (Section III-B):
+
+1. Read with the default voltages.  Decode -> done, zero retries.
+2. On failure, obtain the sentinel error difference ``d`` at the default
+   sentinel voltage.  For the LSB page the failed read already applied that
+   voltage; for CSB/MSB pages one *extra single-voltage read* is issued —
+   much cheaper than a retry, since sensing latency is proportional to the
+   number of read voltages applied.
+3. Map ``d`` through the fitted polynomial to the optimal sentinel-voltage
+   offset, derive every other voltage from the correlation table for the
+   current temperature, and retry.
+4. If the retry still fails, run the state-change calibration loop
+   (Section III-C): compare ``NCa`` with the scaled sentinel count, nudge the
+   sentinel offset by ``Delta`` in the indicated direction, re-derive the
+   other voltages, and retry — until decode or retry exhaustion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.calibration import CalibrationConfig, Calibrator
+from repro.core.models import SentinelModel
+from repro.ecc.capability import CapabilityEcc
+from repro.flash.wordline import Wordline
+from repro.retry.policy import ReadOutcome, ReadPolicy
+
+__all__ = ["SentinelController", "ReadOutcome"]
+
+
+class SentinelController(ReadPolicy):
+    """Sentinel-assisted read policy ("sentinel" in the paper's figures)."""
+
+    name = "sentinel"
+
+    def __init__(
+        self,
+        ecc: CapabilityEcc,
+        model: SentinelModel,
+        calibration: Optional[CalibrationConfig] = None,
+        max_retries: int = 10,
+        fallback_table: bool = True,
+        soft_fallback: bool = False,
+    ) -> None:
+        super().__init__(ecc, max_retries)
+        self.soft_fallback = soft_fallback
+        self.model = model
+        self._calibration_config = calibration
+        self._calibrator: Optional[Calibrator] = (
+            Calibrator(calibration) if calibration else None
+        )
+        # Real FTLs never leave data unreadable: when the calibration loop
+        # exhausts, fall through to the standard vendor retry table.
+        self.fallback_table = fallback_table
+
+    def _calibrator_for(self, wordline: Wordline) -> Calibrator:
+        if self._calibrator is None:
+            self._calibrator = Calibrator(
+                CalibrationConfig.for_spec(wordline.spec)
+            )
+        return self._calibrator
+
+    # ------------------------------------------------------------------
+    def read(
+        self,
+        wordline: Wordline,
+        page: Union[int, str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReadOutcome:
+        spec = wordline.spec
+        outcome = self.new_outcome(wordline, page)
+        if self.attempt(wordline, outcome, None, rng):
+            return outcome
+
+        # --- sentinel inference -------------------------------------------
+        sentinel_page = spec.gray.voltage_to_page(spec.sentinel_voltage)
+        if outcome.page != sentinel_page:
+            # CSB/MSB failure: issue the cheap extra read at the sentinel
+            # voltage ("this is also an LSB page read").
+            outcome.extra_single_reads += 1
+        readout = wordline.sentinel_readout(0.0, rng)
+        d_rate = readout.difference_rate
+        temperature = wordline.stress.temperature_c
+        sentinel_offset = float(
+            np.round(self.model.infer_sentinel_offset(d_rate))
+        )
+        offsets = self.model.offsets_from_sentinel(sentinel_offset, temperature)
+        if self.attempt(wordline, outcome, offsets, rng):
+            return outcome
+
+        # --- calibration --------------------------------------------------
+        # One state-change comparison (Section III-C) picks the first probe
+        # direction: Case 1 (all cells moved more than the scaled sentinels)
+        # means the inferred tune fell short — probe further along the
+        # inferred direction first; Case 2 means overshoot — probe back.
+        # Because the verdict is a small-sample statistic, subsequent probes
+        # expand around the inferred offset alternating sides, so a wrong
+        # verdict costs one retry instead of a divergent walk.
+        calibrator = self._calibrator_for(wordline)
+        direction_hint = sentinel_offset if sentinel_offset != 0.0 else (
+            d_rate if d_rate != 0.0 else -1.0
+        )
+        # the comparison needs single-voltage reads at the default and the
+        # inferred sentinel positions; the default-position read is already
+        # in hand (step 2), the inferred-position one is new
+        outcome.extra_single_reads += 1
+        verdict, _, _ = calibrator.state_change_verdict(
+            wordline, sentinel_offset, rng
+        )
+        sign = float(np.sign(direction_hint)) or -1.0
+        first = sign if verdict == "further" else -sign
+        delta = calibrator.config.delta_steps
+        for k in range(1, calibrator.config.max_steps + 1):
+            if outcome.retries >= self.max_retries:
+                break
+            magnitude = (k + 1) // 2 * delta
+            side = first if k % 2 == 1 else -first
+            current = sentinel_offset + side * magnitude
+            outcome.calibration_steps += 1
+            offsets = self.model.offsets_from_sentinel(current, temperature)
+            if self.attempt(wordline, outcome, offsets, rng):
+                return outcome
+
+        if self.fallback_table:
+            from repro.retry.current_flash import RetryTable
+
+            table = RetryTable.vendor_default(spec)
+            for k in range(len(table)):
+                if outcome.retries >= self.max_retries:
+                    break
+                if self.attempt(wordline, outcome, table.entry(k), rng):
+                    return outcome
+        if self.soft_fallback and not outcome.success:
+            self.soft_rescue(wordline, outcome, rng)
+        return outcome

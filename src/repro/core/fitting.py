@@ -1,0 +1,110 @@
+"""Model fitting: the d->offset polynomial and cross-voltage correlations.
+
+Both fits are offline, performed once per chip batch during manufacturing
+characterization (Section III-D: "one or several flash chips are randomly
+selected for evaluation and analysis ... the relationships are programmed
+into all the flash chips of the same type").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolynomialFit:
+    """A clipped-domain polynomial ``y = polyval(coeffs, (x - shift)/scale)``.
+
+    Evaluation clips ``x`` to the training domain — a degree-5 polynomial
+    extrapolates violently, and a controller must never amplify an
+    out-of-range error-difference reading into a huge voltage excursion.
+    The fit is performed on standardized inputs (error-difference rates are
+    tiny numbers, which would ill-condition a raw Vandermonde system); the
+    standardization travels with the coefficients.
+    """
+
+    coeffs: np.ndarray
+    x_min: float
+    x_max: float
+    x_shift: float = 0.0
+    x_scale: float = 1.0
+
+    def __call__(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        clipped = np.clip(x, self.x_min, self.x_max)
+        result = np.polyval(self.coeffs, (clipped - self.x_shift) / self.x_scale)
+        return float(result) if np.isscalar(x) else result
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+
+def fit_difference_polynomial(
+    d_rates: np.ndarray, optima: np.ndarray, degree: int = 5
+) -> PolynomialFit:
+    """Fit ``V_optimal = f(d)`` as in Figure 10 (degree 5 by default)."""
+    d_rates = np.asarray(d_rates, dtype=np.float64)
+    optima = np.asarray(optima, dtype=np.float64)
+    if d_rates.shape != optima.shape or d_rates.ndim != 1:
+        raise ValueError("d_rates and optima must be equal-length 1-D arrays")
+    if len(d_rates) <= degree:
+        raise ValueError(
+            f"need more than {degree} samples to fit a degree-{degree} polynomial"
+        )
+    shift = float(d_rates.mean())
+    scale = float(d_rates.std()) or 1.0
+    # with heavily quantized d (few sentinel cells) a high degree is
+    # under-determined; drop to what the data can support
+    effective_degree = min(degree, max(len(np.unique(d_rates)) - 1, 1))
+    coeffs = np.polyfit((d_rates - shift) / scale, optima, deg=effective_degree)
+    return PolynomialFit(
+        coeffs=coeffs,
+        x_min=float(d_rates.min()),
+        x_max=float(d_rates.max()),
+        x_shift=shift,
+        x_scale=scale,
+    )
+
+
+def fit_linear_correlations(
+    optima: np.ndarray, sentinel_voltage: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-voltage linear fits against the sentinel voltage's optimum.
+
+    ``optima`` has shape ``(n_samples, n_voltages)``; column ``s-1`` is the
+    sentinel voltage.  Returns ``(slopes, intercepts, r_squared)`` such that
+    ``opt_i ~= slopes[i] * opt_sentinel + intercepts[i]``.  The sentinel
+    voltage itself gets the identity (slope 1, intercept 0).
+    """
+    optima = np.asarray(optima, dtype=np.float64)
+    if optima.ndim != 2:
+        raise ValueError("optima must be 2-D (samples x voltages)")
+    n_samples, n_voltages = optima.shape
+    if not 1 <= sentinel_voltage <= n_voltages:
+        raise IndexError("sentinel_voltage out of range")
+    if n_samples < 2:
+        raise ValueError("need at least two samples for a linear fit")
+    x = optima[:, sentinel_voltage - 1]
+    slopes = np.empty(n_voltages)
+    intercepts = np.empty(n_voltages)
+    r_squared = np.empty(n_voltages)
+    x_var = np.var(x)
+    for i in range(n_voltages):
+        y = optima[:, i]
+        if i == sentinel_voltage - 1:
+            slopes[i], intercepts[i], r_squared[i] = 1.0, 0.0, 1.0
+            continue
+        if x_var == 0.0:
+            slopes[i], intercepts[i] = 0.0, float(np.mean(y))
+            r_squared[i] = 0.0
+            continue
+        cov = np.mean((x - x.mean()) * (y - y.mean()))
+        slopes[i] = cov / x_var
+        intercepts[i] = y.mean() - slopes[i] * x.mean()
+        residual = y - (slopes[i] * x + intercepts[i])
+        y_var = np.var(y)
+        r_squared[i] = 1.0 - (np.var(residual) / y_var if y_var > 0 else 0.0)
+    return slopes, intercepts, r_squared

@@ -1,0 +1,148 @@
+"""The sentinel model: the small table burned into every chip of a batch.
+
+Holds (1) the polynomial mapping the sentinel-cell error-difference rate to
+the optimal sentinel-voltage offset and (2) per-temperature-range linear
+correlation tables mapping that offset to every other read voltage
+(Section III-D: "we maintain one table for the relationship between error
+difference and the optimal read voltage, and multiple tables to store the
+correlations among optimal read voltages, where each table corresponds to a
+temperature range").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.fitting import PolynomialFit
+
+
+@dataclass(frozen=True)
+class CorrelationTable:
+    """Linear cross-voltage correlations valid in one temperature range."""
+
+    temp_low_c: float
+    temp_high_c: float
+    slopes: np.ndarray  # (n_voltages,)
+    intercepts: np.ndarray  # (n_voltages,)
+
+    def covers(self, temperature_c: float) -> bool:
+        return self.temp_low_c <= temperature_c < self.temp_high_c
+
+    def offsets_from_sentinel(self, sentinel_offset: float) -> np.ndarray:
+        return self.slopes * sentinel_offset + self.intercepts
+
+
+@dataclass
+class SentinelModel:
+    """Everything the controller needs to infer optimal read voltages."""
+
+    spec_name: str
+    sentinel_voltage: int
+    n_voltages: int
+    difference_poly: PolynomialFit
+    correlations: List[CorrelationTable] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.correlations:
+            raise ValueError("at least one correlation table is required")
+        for table in self.correlations:
+            if table.slopes.shape != (self.n_voltages,):
+                raise ValueError("correlation table size mismatch")
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def infer_sentinel_offset(self, d_rate: float) -> float:
+        """Optimal sentinel-voltage offset from the error-difference rate."""
+        return float(self.difference_poly(d_rate))
+
+    def correlation_for(self, temperature_c: float) -> CorrelationTable:
+        for table in self.correlations:
+            if table.covers(temperature_c):
+                return table
+        # fall back to the nearest range rather than refusing to read
+        mids = [0.5 * (t.temp_low_c + t.temp_high_c) for t in self.correlations]
+        nearest = int(np.argmin([abs(temperature_c - m) for m in mids]))
+        return self.correlations[nearest]
+
+    def offsets_from_sentinel(
+        self, sentinel_offset: float, temperature_c: float = 25.0
+    ) -> np.ndarray:
+        """Dense per-voltage offsets implied by a sentinel-voltage offset."""
+        table = self.correlation_for(temperature_c)
+        offsets = table.offsets_from_sentinel(sentinel_offset)
+        offsets = offsets.copy()
+        offsets[self.sentinel_voltage - 1] = sentinel_offset
+        return np.round(offsets)
+
+    def infer_offsets(
+        self, d_rate: float, temperature_c: float = 25.0
+    ) -> np.ndarray:
+        """End-to-end inference: error-difference rate -> all offsets."""
+        return self.offsets_from_sentinel(
+            self.infer_sentinel_offset(d_rate), temperature_c
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (the "programmed into the chips" artifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "spec_name": self.spec_name,
+            "sentinel_voltage": self.sentinel_voltage,
+            "n_voltages": self.n_voltages,
+            "difference_poly": {
+                "coeffs": self.difference_poly.coeffs.tolist(),
+                "x_min": self.difference_poly.x_min,
+                "x_max": self.difference_poly.x_max,
+                "x_shift": self.difference_poly.x_shift,
+                "x_scale": self.difference_poly.x_scale,
+            },
+            "correlations": [
+                {
+                    "temp_low_c": t.temp_low_c,
+                    "temp_high_c": t.temp_high_c,
+                    "slopes": t.slopes.tolist(),
+                    "intercepts": t.intercepts.tolist(),
+                }
+                for t in self.correlations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SentinelModel":
+        poly = PolynomialFit(
+            coeffs=np.asarray(data["difference_poly"]["coeffs"], dtype=np.float64),
+            x_min=float(data["difference_poly"]["x_min"]),
+            x_max=float(data["difference_poly"]["x_max"]),
+            x_shift=float(data["difference_poly"].get("x_shift", 0.0)),
+            x_scale=float(data["difference_poly"].get("x_scale", 1.0)),
+        )
+        tables = [
+            CorrelationTable(
+                temp_low_c=float(t["temp_low_c"]),
+                temp_high_c=float(t["temp_high_c"]),
+                slopes=np.asarray(t["slopes"], dtype=np.float64),
+                intercepts=np.asarray(t["intercepts"], dtype=np.float64),
+            )
+            for t in data["correlations"]
+        ]
+        return cls(
+            spec_name=data["spec_name"],
+            sentinel_voltage=int(data["sentinel_voltage"]),
+            n_voltages=int(data["n_voltages"]),
+            difference_poly=poly,
+            correlations=tables,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SentinelModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,73 @@
+"""Sentinel space-overhead accounting (Section III-D).
+
+Sentinel cells live in the out-of-band (OOB) area of each wordline.  The OOB
+stores ECC parity, but rarely all of it: on the paper's chips the page is
+18592 bytes, user data 16384 bytes, OOB 2208 bytes (11.9%), parity 2016
+bytes (10.9%) — leaving 192 bytes (1.0%) free, five times the 0.2% the
+sentinels need.  When the free space is insufficient, sentinels displace
+parity and the ECC capability drops slightly (the Figure 19 worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.spec import FlashSpec
+
+
+@dataclass(frozen=True)
+class SentinelOverhead:
+    """Space accounting of a sentinel reservation."""
+
+    ratio: float
+    cells: int
+    bytes_needed: float
+    oob_free_bytes: int
+    fits_in_free_oob: bool
+    parity_donated_fraction: float  # of the parity budget, worst case 0 if fits
+
+    def describe(self) -> str:
+        status = (
+            "fits in free OOB"
+            if self.fits_in_free_oob
+            else f"displaces {self.parity_donated_fraction:.2%} of ECC parity"
+        )
+        return (
+            f"{self.cells} sentinel cells ({self.ratio:.2%} of the wordline, "
+            f"{self.bytes_needed:.0f} B) — {status}"
+        )
+
+
+def sentinel_overhead(spec: FlashSpec, ratio: float = 0.002) -> SentinelOverhead:
+    """Compute the space overhead of reserving ``ratio`` sentinel cells.
+
+    One sentinel cell occupies one bit column of every page of the wordline,
+    i.e. ``ratio * page_bytes`` bytes per page.
+    """
+    cells = spec.sentinel_cells(ratio)
+    bytes_needed = cells / 8.0
+    fits = spec.sentinel_fits_in_free_oob(ratio)
+    if fits:
+        donated = 0.0
+    else:
+        free_cells = spec.oob_free_bytes * 8
+        overflow = max(cells - free_cells, 0)
+        donated = overflow / (spec.ecc_parity_bytes * 8)
+    return SentinelOverhead(
+        ratio=ratio,
+        cells=cells,
+        bytes_needed=bytes_needed,
+        oob_free_bytes=spec.oob_free_bytes,
+        fits_in_free_oob=fits,
+        parity_donated_fraction=donated,
+    )
+
+
+def worst_case_parity_donation(spec: FlashSpec, ratio: float = 0.002) -> float:
+    """Fraction of parity lost if *all* sentinel cells displace parity.
+
+    Section IV-C: "we suppose the space of all sentinel cells is taken from
+    the space of ECC parity" — the pessimistic configuration of Figure 19.
+    """
+    cells = spec.sentinel_cells(ratio)
+    return cells / (spec.ecc_parity_bytes * 8)

@@ -1,0 +1,176 @@
+"""Binary BCH code: the classic hard-decision flash ECC.
+
+Pre-LDPC flash controllers corrected errors with binary BCH codes, whose
+guarantee — *exactly* ``t`` correctable errors per frame — is what the
+capability-threshold model of :mod:`repro.ecc.capability` abstracts.  This
+implementation closes that loop: a real code whose behaviour the threshold
+model must match (see ``tests/test_bch.py``).
+
+Standard construction: codeword length ``n = 2^m - 1``; the generator is the
+LCM of the minimal polynomials of ``alpha^1 .. alpha^{2t}``.  Decoding is
+syndromes -> Berlekamp-Massey -> Chien search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+from repro.ecc.gf import GF2m, field
+
+
+@dataclass(frozen=True)
+class BchDecodeResult:
+    bits: np.ndarray  # corrected codeword
+    success: bool  # decoded within the design distance
+    errors_corrected: int
+
+
+def _poly_mul_gf2(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Multiply binary polynomials (coefficient arrays, lowest first)."""
+    out = np.zeros(len(p) + len(q) - 1, dtype=np.int64)
+    for i in np.nonzero(p)[0]:
+        out[i : i + len(q)] ^= q
+    return out % 2 if out.max() <= 1 else out & 1
+
+
+class BchCode:
+    """Binary BCH over GF(2^m), correcting up to ``t`` errors."""
+
+    def __init__(self, m: int, t: int) -> None:
+        if t < 1:
+            raise ValueError("t must be >= 1")
+        self.gf: GF2m = field(m)
+        self.m = m
+        self.t = t
+        self.n = self.gf.order
+        # generator polynomial: LCM of minimal polynomials of alpha^1..2t
+        minimal = {self.gf.minimal_polynomial(j) for j in range(1, 2 * t + 1)}
+        gen = np.array([1], dtype=np.int64)
+        for poly in sorted(minimal):
+            gen = _poly_mul_gf2(gen, np.array(poly, dtype=np.int64))
+        self.generator = gen
+        self.n_parity = len(gen) - 1
+        self.k = self.n - self.n_parity
+        if self.k <= 0:
+            raise ValueError(f"t={t} too large for m={m}: no data bits left")
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Systematic encoding: data occupies the high-order positions."""
+        data = np.asarray(data, dtype=np.int64)
+        if data.shape != (self.k,):
+            raise ValueError(f"expected {self.k} data bits, got {data.shape}")
+        # remainder of data(x) * x^n_parity mod g(x)
+        register = np.zeros(self.n_parity, dtype=np.int64)
+        g_low = self.generator[:-1]  # deg-1 ... 0 coefficients
+        for bit in data[::-1]:
+            feedback = int(bit) ^ int(register[-1])
+            register[1:] = register[:-1]
+            register[0] = 0
+            if feedback:
+                register ^= g_low
+        codeword = np.zeros(self.n, dtype=np.int64)
+        codeword[self.n_parity :] = data
+        codeword[: self.n_parity] = register
+        return codeword
+
+    def is_codeword(self, bits: np.ndarray) -> bool:
+        return not any(self._syndromes(np.asarray(bits, dtype=np.int64)))
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def _syndromes(self, received: np.ndarray) -> list:
+        positions = np.nonzero(received)[0]
+        syndromes = []
+        if len(positions) == 0:
+            return [0] * (2 * self.t)
+        logs = positions.astype(np.int64)
+        for j in range(1, 2 * self.t + 1):
+            terms = self.gf.exp[(logs * j) % self.gf.order]
+            syndromes.append(int(np.bitwise_xor.reduce(terms)))
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: list) -> np.ndarray:
+        """Error-locator polynomial Lambda (lowest-degree first)."""
+        gf = self.gf
+        c = np.zeros(2 * self.t + 2, dtype=np.int64)
+        b = np.zeros(2 * self.t + 2, dtype=np.int64)
+        c[0] = b[0] = 1
+        length, shift = 0, 1
+        b_scale = 1
+        for i, s in enumerate(syndromes):
+            # discrepancy
+            d = s
+            for j in range(1, length + 1):
+                if c[j] and syndromes[i - j]:
+                    d ^= gf.mul(int(c[j]), syndromes[i - j])
+            if d == 0:
+                shift += 1
+                continue
+            coeff = gf.div(d, b_scale)
+            t_poly = c.copy()
+            for j in range(len(c) - shift):
+                if b[j]:
+                    c[j + shift] ^= gf.mul(coeff, int(b[j]))
+            if 2 * length <= i:
+                length = i + 1 - length
+                b = t_poly
+                b_scale = d
+                shift = 1
+            else:
+                shift += 1
+        degree = max(np.nonzero(c)[0]) if c.any() else 0
+        return c[: degree + 1]
+
+    def _chien_search(self, locator: np.ndarray) -> np.ndarray:
+        """Error positions: i where Lambda(alpha^{-i}) == 0."""
+        gf = self.gf
+        candidates = gf.exp[(-np.arange(self.n)) % gf.order]
+        values = gf.poly_eval_many(locator, candidates)
+        return np.nonzero(values == 0)[0]
+
+    def decode(self, received: np.ndarray) -> BchDecodeResult:
+        """Correct up to ``t`` errors; report failure beyond that."""
+        received = np.asarray(received, dtype=np.int64)
+        if received.shape != (self.n,):
+            raise ValueError(f"expected {self.n} bits, got {received.shape}")
+        syndromes = self._syndromes(received)
+        if not any(syndromes):
+            return BchDecodeResult(
+                bits=received.copy(), success=True, errors_corrected=0
+            )
+        locator = self._berlekamp_massey(syndromes)
+        degree = len(locator) - 1
+        corrected = received.copy()
+        if degree > self.t:
+            return BchDecodeResult(bits=corrected, success=False,
+                                   errors_corrected=0)
+        positions = self._chien_search(locator)
+        if len(positions) != degree:
+            # locator does not split: more than t errors
+            return BchDecodeResult(bits=corrected, success=False,
+                                   errors_corrected=0)
+        corrected[positions] ^= 1
+        if not self.is_codeword(corrected):  # pragma: no cover - safety net
+            return BchDecodeResult(bits=corrected, success=False,
+                                   errors_corrected=0)
+        return BchDecodeResult(
+            bits=corrected, success=True, errors_corrected=len(positions)
+        )
+
+    # ------------------------------------------------------------------
+    def extract_data(self, codeword: np.ndarray) -> np.ndarray:
+        return np.asarray(codeword, dtype=np.int64)[self.n_parity :]
+
+    @property
+    def rate(self) -> float:
+        return self.k / self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BchCode(n={self.n}, k={self.k}, t={self.t})"

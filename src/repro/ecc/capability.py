@@ -1,0 +1,115 @@
+"""Correction-capability threshold model of the page ECC.
+
+A page stores several ECC frames; a page read succeeds only if *every* frame
+decodes.  A frame decodes iff its raw bit errors stay within the capability.
+Splitting the page into contiguous frames matters: on spatially non-uniform
+wordlines the errors concentrate, so a page can fail even when its average
+RBER looks fine — one of the effects the paper's calibration step exists to
+handle.
+
+The capability is expressed as a correctable RBER per frame.  Soft decoding
+modes raise it (2-bit and 3-bit soft sensing feed the LDPC better LLRs), and
+donating parity cells to sentinels lowers it (the Section IV-C worst case).
+The default values are calibrated against the real LDPC decoder in
+``tests/test_ecc_cross_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+import numpy as np
+
+from repro.flash.spec import FlashSpec
+from repro.flash.wordline import ReadResult
+
+#: Capability multiplier of each sensing/decoding mode relative to hard input.
+MODE_GAIN = {"hard": 1.0, "soft2": 1.45, "soft3": 1.65}
+
+#: Capability lost per unit fraction of parity donated to sentinel cells.
+PARITY_LOSS_SLOPE = 1.2
+
+
+@dataclass(frozen=True)
+class CapabilityEcc:
+    """Threshold-capability ECC.
+
+    Parameters
+    ----------
+    capability_rber:
+        Correctable raw bit error rate per frame for hard decoding with the
+        full parity budget.
+    frame_bits:
+        Payload+parity bits covered by one frame (frames tile the page).
+    mode:
+        Sensing/decoding mode: ``hard``, ``soft2`` or ``soft3``.
+    parity_donated:
+        Fraction of the ECC parity space occupied by sentinel cells (the
+        paper's worst case; 0 when sentinels fit in free OOB).
+    """
+
+    capability_rber: float = 2.8e-3
+    frame_bits: int = 16384
+    mode: str = "hard"
+    parity_donated: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODE_GAIN:
+            raise ValueError(f"unknown mode {self.mode!r}; one of {sorted(MODE_GAIN)}")
+        if not 0.0 <= self.parity_donated < 1.0:
+            raise ValueError("parity_donated must be in [0, 1)")
+        if self.frame_bits <= 0:
+            raise ValueError("frame_bits must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_spec(cls, spec: FlashSpec, **overrides) -> "CapabilityEcc":
+        """An ECC sized for a chip spec.
+
+        The capability sits between the optimal-voltage RBER and the
+        default-voltage RBER of an aged block — the regime the paper's
+        evaluation lives in (default reads fail, optimal reads succeed).
+        """
+        capability = 5.0e-3
+        frame_bits = min(16384, spec.cells_per_wordline // 4 or 1)
+        params = dict(capability_rber=capability, frame_bits=frame_bits)
+        params.update(overrides)
+        return cls(**params)
+
+    def with_mode(self, mode: str) -> "CapabilityEcc":
+        return replace(self, mode=mode)
+
+    def with_parity_donated(self, fraction: float) -> "CapabilityEcc":
+        return replace(self, parity_donated=fraction)
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_rber(self) -> float:
+        """Capability after the mode gain and the parity donation penalty."""
+        gain = MODE_GAIN[self.mode]
+        penalty = 1.0 - PARITY_LOSS_SLOPE * self.parity_donated
+        return self.capability_rber * gain * max(penalty, 0.0)
+
+    def max_errors_per_frame(self) -> int:
+        return int(self.effective_rber * self.frame_bits)
+
+    # ------------------------------------------------------------------
+    def frame_error_counts(self, mismatch: np.ndarray) -> np.ndarray:
+        """Per-frame error counts of a page given its error mask."""
+        n = len(mismatch)
+        n_frames = max(1, -(-n // self.frame_bits))  # ceil
+        return np.array(
+            [int(chunk.sum()) for chunk in np.array_split(mismatch, n_frames)],
+            dtype=np.int64,
+        )
+
+    def decode_ok(self, read: Union[ReadResult, np.ndarray]) -> bool:
+        """Whether the page decodes: every frame within capability."""
+        mismatch = read.mismatch if isinstance(read, ReadResult) else read
+        counts = self.frame_error_counts(np.asarray(mismatch, dtype=bool))
+        return bool((counts <= self.max_errors_per_frame()).all())
+
+    def decode_ok_by_rate(self, rber: float) -> bool:
+        """Uniform-error approximation, for analytic callers."""
+        return rber <= self.effective_rber

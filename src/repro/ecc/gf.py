@@ -1,0 +1,137 @@
+"""Galois-field arithmetic GF(2^m) with log/antilog tables.
+
+Substrate for the BCH code.  Elements are integers in ``[0, 2^m)``; zero is
+special-cased (log undefined).  Multiplication and division go through the
+discrete-log tables, which makes the vectorized syndrome/Chien evaluations
+in :mod:`repro.ecc.bch` cheap numpy gathers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+#: Primitive polynomials (bitmask incl. the x^m term) for GF(2^m).
+PRIMITIVE_POLYS = {
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,  # x^10 + x^3 + 1
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+}
+
+
+class GF2m:
+    """GF(2^m) with precomputed exponential and logarithm tables."""
+
+    def __init__(self, m: int) -> None:
+        if m not in PRIMITIVE_POLYS:
+            raise ValueError(f"unsupported field degree m={m}")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        poly = PRIMITIVE_POLYS[m]
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.size, dtype=np.int64)
+        x = 1
+        for i in range(self.order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        exp[self.order : 2 * self.order] = exp[: self.order]
+        self.exp = exp
+        self.log = log
+
+    # ------------------------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self.exp[self.log[a] + self.log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError("GF division by zero")
+        if a == 0:
+            return 0
+        return int(self.exp[(self.log[a] - self.log[b]) % self.order])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse")
+        return int(self.exp[self.order - self.log[a]])
+
+    def pow(self, a: int, k: int) -> int:
+        if a == 0:
+            return 0 if k else 1
+        return int(self.exp[(self.log[a] * k) % self.order])
+
+    def alpha_pow(self, k: int) -> int:
+        """alpha**k for the primitive element alpha."""
+        return int(self.exp[k % self.order])
+
+    # ------------------------------------------------------------------
+    # polynomials over GF(2^m): lowest-degree coefficient first
+    # ------------------------------------------------------------------
+    def poly_mul(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        out = np.zeros(len(p) + len(q) - 1, dtype=np.int64)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                if b == 0:
+                    continue
+                out[i + j] ^= self.mul(int(a), int(b))
+        return out
+
+    def poly_eval(self, p: np.ndarray, x: int) -> int:
+        """Horner evaluation of a polynomial at one point."""
+        acc = 0
+        for coeff in p[::-1]:
+            acc = self.mul(acc, x) ^ int(coeff)
+        return acc
+
+    def poly_eval_many(self, p: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation at many nonzero points via log tables."""
+        xs = np.asarray(xs, dtype=np.int64)
+        acc = np.zeros(len(xs), dtype=np.int64)
+        log_xs = self.log[xs]
+        for k, coeff in enumerate(p):
+            if coeff == 0:
+                continue
+            term = self.exp[(self.log[coeff] + k * log_xs) % self.order]
+            acc ^= term
+        return acc
+
+    # ------------------------------------------------------------------
+    @lru_cache(maxsize=None)
+    def minimal_polynomial(self, k: int) -> tuple:
+        """Minimal polynomial (over GF(2)) of alpha**k, as a coefficient
+        tuple (lowest degree first, entries 0/1)."""
+        # conjugacy class of k under doubling mod order
+        cls = set()
+        cur = k % self.order
+        while cur not in cls:
+            cls.add(cur)
+            cur = (cur * 2) % self.order
+        poly = np.array([1], dtype=np.int64)
+        for j in sorted(cls):
+            root = self.alpha_pow(j)
+            poly = self.poly_mul(poly, np.array([root, 1], dtype=np.int64))
+        # all coefficients must collapse into GF(2)
+        if not set(int(c) for c in poly) <= {0, 1}:
+            raise AssertionError("minimal polynomial not binary")
+        return tuple(int(c) for c in poly)
+
+
+@lru_cache(maxsize=None)
+def field(m: int) -> GF2m:
+    """Shared field instance per degree."""
+    return GF2m(m)

@@ -1,0 +1,34 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every driver is a plain function returning a result dataclass with the same
+rows/series the paper plots; the benchmark suite (``benchmarks/``) times the
+drivers and prints those rows, and the examples reuse them.  Drivers are
+parameterized so tests can run them small and benches can run them at paper
+scale.
+
+Index (see DESIGN.md section 4 for the full mapping):
+
+========  ==========================================================
+fig3      per-layer MSB RBER, default vs optimal voltages, by P/E
+fig4      per-wordline page RBER, room vs high temperature (1 h)
+fig5      per-wordline optimal offsets, room vs high temperature
+fig6      per-layer optimal offsets of all read voltages
+fig7      bit-error positions in a block + uniformity statistics
+fig8      cross-voltage correlation of optimal offsets
+fig10     error-difference polynomial fit + inference accuracy
+fig12     normalized state-change counts around the optimum
+table1    |predicted - real| sentinel offset vs sentinel ratio
+fig13     read retries per wordline: current flash vs sentinel
+fig14     trace-driven read-latency reduction (8 MSR workloads)
+fig15     per-voltage success rate after inference / calibration
+fig16/17  per-voltage error counts (TLC / QLC), four methods
+fig18     adds the tracking baseline (four voltages)
+fig19     LDPC decoding success rate, three sensings x three methods
+ablations design-choice sweeps called out in DESIGN.md section 5
+--------  ----------------------------------------------------------
+fig2      the motivating error-vs-offset V-curve (Section II-A)
+read_disturb   RBER vs read count (flat below 1e6 reads)
+batch_transfer one training die's model on sibling dies (Sec III-D)
+methods   shared per-wordline collector behind figs 15-18
+========  ==========================================================
+"""

@@ -1,0 +1,112 @@
+"""Shared experiment infrastructure: standard specs, seeds, stresses, models.
+
+The paper's procedure separates *training* chips (characterized at the
+factory, their fits burned into the batch) from *evaluated* chips; we mirror
+that with two chip seeds.  The fitted :class:`SentinelModel` per chip kind is
+cached per process because every figure reuses it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from repro.core.characterization import CharacterizationResult, characterize_chip
+from repro.core.models import SentinelModel
+from repro.ecc.capability import CapabilityEcc
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import FlashSpec, QLC_SPEC, TLC_SPEC
+
+#: Chip seed used for factory characterization (the "training die").
+TRAIN_SEED = 100
+#: Chip seed of the die every experiment evaluates.
+EVAL_SEED = 1
+
+#: Default simulation scale: cells per wordline / wordlines per layer.
+SIM_CELLS = 65536
+SIM_WL_PER_LAYER = 4
+
+HIGH_TEMP_C = 80.0
+ONE_YEAR_H = 8760.0
+
+
+def sim_spec(
+    kind: str,
+    cells_per_wordline: int = SIM_CELLS,
+    wordlines_per_layer: int = SIM_WL_PER_LAYER,
+) -> FlashSpec:
+    """A scaled spec for simulation (``kind`` is ``"tlc"`` or ``"qlc"``)."""
+    base = {"tlc": TLC_SPEC, "qlc": QLC_SPEC}.get(kind.lower())
+    if base is None:
+        raise ValueError(f"unknown chip kind {kind!r}; use 'tlc' or 'qlc'")
+    return base.scaled(
+        cells_per_wordline=cells_per_wordline,
+        wordlines_per_layer=wordlines_per_layer,
+    )
+
+
+def eval_stress(kind: str) -> StressState:
+    """The paper's evaluation conditions (Section IV): one-year retention,
+    5000 P/E for TLC and 1000 P/E for QLC."""
+    pe = 5000 if kind.lower() == "tlc" else 1000
+    return StressState(pe_cycles=pe, retention_hours=ONE_YEAR_H)
+
+
+def training_stresses(kind: str) -> Tuple[StressState, ...]:
+    """Stress sweep used for factory characterization."""
+    if kind.lower() == "tlc":
+        pes = (1000, 3000, 5000)
+    else:
+        pes = (500, 1000, 3000)
+    room = tuple(
+        StressState(pe_cycles=pe, retention_hours=hours)
+        for pe in pes
+        for hours in (720.0, ONE_YEAR_H)
+    )
+    hot = tuple(
+        StressState(pe_cycles=pe, retention_hours=hours, temperature_c=HIGH_TEMP_C)
+        for pe in pes
+        for hours in (1.0, 24.0)
+    )
+    return room + hot
+
+
+def eval_chip(kind: str, sentinel_ratio: float = 0.002, **spec_kw) -> FlashChip:
+    chip = FlashChip(sim_spec(kind, **spec_kw), seed=EVAL_SEED,
+                     sentinel_ratio=sentinel_ratio)
+    chip.set_block_stress(0, eval_stress(kind))
+    return chip
+
+
+def default_ecc(kind: str) -> CapabilityEcc:
+    return CapabilityEcc.for_spec(sim_spec(kind))
+
+
+@lru_cache(maxsize=None)
+def characterization(
+    kind: str,
+    sentinel_ratio: float = 0.002,
+    wordline_step: int = 4,
+) -> CharacterizationResult:
+    """Factory characterization of the training die (cached per process)."""
+    spec = sim_spec(kind)
+    chip = FlashChip(spec, seed=TRAIN_SEED, sentinel_ratio=sentinel_ratio)
+    return characterize_chip(
+        chip,
+        blocks=(0,),
+        stresses=training_stresses(kind),
+        wordlines=range(0, spec.wordlines_per_block, wordline_step),
+    )
+
+
+def trained_model(kind: str, sentinel_ratio: float = 0.002) -> SentinelModel:
+    """The fitted sentinel model of a chip kind (cached).
+
+    Calls ``characterization`` with the same argument spelling the figure
+    drivers use, so the (argument-sensitive) lru_cache is shared instead of
+    fitting twice.
+    """
+    if sentinel_ratio == 0.002:
+        return characterization(kind).model
+    return characterization(kind, sentinel_ratio).model

@@ -1,0 +1,68 @@
+"""Figure 12: state-change counts around the optimum (calibration rationale).
+
+For every wordline, count the cells whose single-voltage readout changes
+when the sentinel voltage moves from its default position to ``optimal +
+delta``, normalized by the count at ``delta = 0``.  The paper's observation,
+which makes the calibration's Case 1 / Case 2 test work: stopping *short* of
+the optimum (positive delta, toward the default) changes fewer cells than a
+successful prediction, overshooting (negative delta) changes more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exp.common import eval_chip
+from repro.flash.optimal import optimal_offset
+
+
+@dataclass
+class Fig12Result:
+    kind: str
+    deltas: Sequence[int]
+    normalized_counts: np.ndarray  # (n_deltas,) mean over wordlines
+    per_wordline: np.ndarray  # (n_wordlines, n_deltas)
+
+    def rows(self) -> list:
+        return [
+            (delta, float(self.normalized_counts[i]))
+            for i, delta in enumerate(self.deltas)
+        ]
+
+    def is_monotone_decreasing(self) -> bool:
+        """Overshoot > exact > undershoot, the Figure 12 ordering."""
+        return bool(np.all(np.diff(self.normalized_counts) <= 0))
+
+
+def run_fig12(
+    kind: str = "qlc",
+    deltas: Sequence[int] = (-6, -3, 0, 3, 6),
+    wordline_step: int = 8,
+) -> Fig12Result:
+    """Normalized state-change counts at offsets around each optimum."""
+    chip = eval_chip(kind)
+    spec = chip.spec
+    indices = range(0, spec.wordlines_per_block, wordline_step)
+    rows = []
+    for wl in chip.iter_wordlines(0, indices):
+        opt = optimal_offset(wl, spec.sentinel_voltage)
+        pos_default = spec.read_voltage(spec.sentinel_voltage, 0.0)
+        base_changes = None
+        row = np.zeros(len(deltas))
+        for i, delta in enumerate(deltas):
+            pos = spec.read_voltage(spec.sentinel_voltage, opt + delta)
+            nca, _ = wl.state_change_counts(pos_default, pos)
+            row[i] = nca
+        zero_index = list(deltas).index(0)
+        base_changes = max(row[zero_index], 1.0)
+        rows.append(row / base_changes)
+    per_wordline = np.asarray(rows)
+    return Fig12Result(
+        kind=kind,
+        deltas=tuple(deltas),
+        normalized_counts=per_wordline.mean(axis=0),
+        per_wordline=per_wordline,
+    )

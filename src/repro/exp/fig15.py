@@ -1,0 +1,59 @@
+"""Figure 15: per-voltage success rate after inference and calibration.
+
+For each read voltage of the evaluated QLC block: the fraction of wordlines
+whose inferred (and then calibrated) voltage introduces at most 5% more
+errors than the true optimum.  The paper reports >=83% after inference and
+>=94% after calibration on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exp.methods import MethodErrorData, collect_method_errors
+
+
+@dataclass
+class Fig15Result:
+    kind: str
+    after_inference: np.ndarray  # per-voltage success fraction
+    after_calibration: np.ndarray
+
+    @property
+    def mean_inference(self) -> float:
+        return float(self.after_inference.mean())
+
+    @property
+    def mean_calibration(self) -> float:
+        return float(self.after_calibration.mean())
+
+    def rows(self) -> list:
+        out = [
+            (
+                f"V{v}",
+                f"{self.after_inference[v - 1]:.1%}",
+                f"{self.after_calibration[v - 1]:.1%}",
+            )
+            for v in range(1, len(self.after_inference) + 1)
+        ]
+        out.append(
+            ("mean", f"{self.mean_inference:.1%}", f"{self.mean_calibration:.1%}")
+        )
+        return out
+
+
+def run_fig15(
+    kind: str = "qlc",
+    wordline_step: int = 4,
+    data: "MethodErrorData | None" = None,
+) -> Fig15Result:
+    """Success percentages per voltage (reuses a collected dataset if given)."""
+    if data is None:
+        data = collect_method_errors(kind, wordline_step=wordline_step)
+    return Fig15Result(
+        kind=kind,
+        after_inference=data.success_rate("inferred"),
+        after_calibration=data.success_rate("calibrated"),
+    )

@@ -1,0 +1,79 @@
+"""Figures 16 and 17: per-voltage error counts of the four methods.
+
+Figure 16 plots, per read voltage of the TLC chip, the bit errors each
+wordline sees when read at the default, inferred, calibrated and optimal
+voltages; Figure 17 is the same for QLC.  The shapes to reproduce: the
+default voltages produce by far the most errors on the low/mid voltages;
+inference removes most of that; calibration closes most of the remaining
+gap; the high voltages (V9-V15 on QLC) barely differ between default and
+optimal, so the reduction there is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.exp.methods import MethodErrorData, collect_method_errors
+
+_METHODS = ("default", "inferred", "calibrated", "optimal")
+
+
+@dataclass
+class ErrorComparisonResult:
+    kind: str
+    wordlines: np.ndarray
+    per_voltage_mean: Dict[str, np.ndarray]  # method -> (n_voltages,)
+    per_wordline: Dict[str, np.ndarray]  # method -> (n_wl, n_voltages)
+
+    @property
+    def n_voltages(self) -> int:
+        return len(self.per_voltage_mean["default"])
+
+    def total_errors(self, method: str) -> float:
+        return float(self.per_voltage_mean[method].sum())
+
+    def reduction_vs_default(self, method: str) -> float:
+        return 1.0 - self.total_errors(method) / max(self.total_errors("default"), 1e-9)
+
+    def rows(self) -> list:
+        out = []
+        for v in range(1, self.n_voltages + 1):
+            out.append(
+                tuple(
+                    [f"V{v}"]
+                    + [round(float(self.per_voltage_mean[m][v - 1]), 1) for m in _METHODS]
+                )
+            )
+        out.append(
+            tuple(["total"] + [round(self.total_errors(m), 1) for m in _METHODS])
+        )
+        return out
+
+
+def run_error_comparison(
+    kind: str,
+    wordline_step: int = 4,
+    data: "MethodErrorData | None" = None,
+) -> ErrorComparisonResult:
+    """Shared driver behind Figures 16 (TLC) and 17 (QLC)."""
+    if data is None:
+        data = collect_method_errors(kind, wordline_step=wordline_step)
+    return ErrorComparisonResult(
+        kind=kind,
+        wordlines=data.wordlines,
+        per_voltage_mean={m: data.mean_errors(m) for m in _METHODS},
+        per_wordline={m: data.errors[m] for m in _METHODS},
+    )
+
+
+def run_fig16(wordline_step: int = 4) -> ErrorComparisonResult:
+    """Figure 16: the TLC chip."""
+    return run_error_comparison("tlc", wordline_step=wordline_step)
+
+
+def run_fig17(wordline_step: int = 4) -> ErrorComparisonResult:
+    """Figure 17: the QLC chip."""
+    return run_error_comparison("qlc", wordline_step=wordline_step)

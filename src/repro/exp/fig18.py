@@ -1,0 +1,82 @@
+"""Figure 18: comparison against the tracking method of prior work.
+
+Tracking (Cai et al., HPCA'15) measures the optimum of one wordline per
+block and applies it everywhere.  On 3D flash the wordline-to-wordline
+variation defeats it: some wordlines improve, others get *more* errors than
+at the default voltages.  The paper shows four QLC voltages (V4, V8, V11,
+V15) with default / calibrated / tracking / optimal error counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exp.methods import MethodErrorData, collect_method_errors
+
+_METHODS = ("default", "calibrated", "tracking", "optimal")
+
+
+@dataclass
+class Fig18Result:
+    kind: str
+    voltages: Sequence[int]
+    per_wordline: Dict[str, np.ndarray]  # method -> (n_wl, len(voltages))
+    per_voltage_mean: Dict[str, np.ndarray]
+
+    def tracking_worse_than_default_fraction(self) -> float:
+        """Fraction of (wordline, voltage) points where tracking *hurts* —
+        the paper's key criticism of per-block tracking on 3D flash."""
+        worse = self.per_wordline["tracking"] > self.per_wordline["default"]
+        return float(worse.mean())
+
+    def sentinel_beats_tracking_fraction(self) -> float:
+        better = (
+            self.per_wordline["calibrated"] <= self.per_wordline["tracking"]
+        )
+        return float(better.mean())
+
+    def rows(self) -> list:
+        out = []
+        for i, v in enumerate(self.voltages):
+            out.append(
+                tuple(
+                    [f"V{v}"]
+                    + [
+                        round(float(self.per_voltage_mean[m][i]), 1)
+                        for m in _METHODS
+                    ]
+                )
+            )
+        out.append(
+            (
+                "tracking hurts (vs default)",
+                f"{self.tracking_worse_than_default_fraction():.1%}",
+                "sentinel<=tracking",
+                f"{self.sentinel_beats_tracking_fraction():.1%}",
+            )
+        )
+        return out
+
+
+def run_fig18(
+    kind: str = "qlc",
+    voltages: Sequence[int] = (4, 8, 11, 15),
+    wordline_step: int = 4,
+    data: "MethodErrorData | None" = None,
+) -> Fig18Result:
+    """Four-method comparison on the selected voltages."""
+    if data is None:
+        data = collect_method_errors(
+            kind, wordline_step=wordline_step, include_tracking=True
+        )
+    cols = np.asarray(voltages) - 1
+    per_wordline = {m: data.errors[m][:, cols] for m in _METHODS}
+    return Fig18Result(
+        kind=kind,
+        voltages=tuple(voltages),
+        per_wordline=per_wordline,
+        per_voltage_mean={m: per_wordline[m].mean(axis=0) for m in _METHODS},
+    )

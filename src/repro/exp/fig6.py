@@ -1,0 +1,75 @@
+"""Figure 6: optimal read-voltage offsets of every layer within a block.
+
+QLC, 3000 P/E cycles, one-year retention.  Reproduces the observations that
+drive the design: every read voltage's optimum varies strongly across layers
+(so per-block or per-layer tracking is coarse), and the low read voltages
+need the largest corrections (V1 is excluded — the wide erased state makes
+it an outlier, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exp.common import ONE_YEAR_H, eval_chip
+from repro.flash.mechanisms import StressState
+from repro.flash.optimal import optimal_offsets
+
+
+@dataclass
+class Fig6Result:
+    kind: str
+    layers: np.ndarray
+    voltages: Sequence[int]
+    offsets: np.ndarray  # (n_layers, n_voltages) mean optimum per layer
+
+    def voltage_column(self, vindex: int) -> np.ndarray:
+        return self.offsets[:, list(self.voltages).index(vindex)]
+
+    def spread(self, vindex: int) -> float:
+        """Max-min spread of a voltage's optimum across layers."""
+        col = self.voltage_column(vindex)
+        return float(col.max() - col.min())
+
+    def rows(self) -> list:
+        return [
+            (
+                f"V{v}",
+                float(self.voltage_column(v).mean()),
+                float(self.voltage_column(v).min()),
+                float(self.voltage_column(v).max()),
+                self.spread(v),
+            )
+            for v in self.voltages
+        ]
+
+
+def run_fig6(
+    kind: str = "qlc",
+    pe_cycles: int = 3000,
+    layer_step: int = 1,
+    wordlines_per_layer_sampled: int = 1,
+) -> Fig6Result:
+    """Mean optimal offset of V2..Vmax per layer."""
+    chip = eval_chip(kind)
+    spec = chip.spec
+    chip.set_block_stress(
+        0, StressState(pe_cycles=pe_cycles, retention_hours=ONE_YEAR_H)
+    )
+    voltages = tuple(range(2, spec.n_voltages + 1))
+    layers = np.arange(0, spec.layers, layer_step)
+    table = np.zeros((len(layers), len(voltages)))
+    for li, layer in enumerate(layers):
+        base = layer * spec.wordlines_per_layer
+        rows = []
+        indices = range(
+            base,
+            base + min(wordlines_per_layer_sampled, spec.wordlines_per_layer),
+        )
+        for wl in chip.iter_wordlines(0, indices):
+            rows.append(optimal_offsets(wl, voltages=voltages)[np.array(voltages) - 1])
+        table[li] = np.mean(rows, axis=0)
+    return Fig6Result(kind=kind, layers=layers, voltages=voltages, offsets=table)

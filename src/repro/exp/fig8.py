@@ -1,0 +1,65 @@
+"""Figure 8: correlation between each voltage's optimum and the sentinel's.
+
+The paper scatters, over wordlines from multiple blocks and stress
+conditions, the optimal offset of every read voltage against the optimal
+offset of V8 (QLC) and finds near-linear relationships — the property that
+lets one sentinel voltage stand in for all fifteen.  We reuse the
+characterization sweep's samples and report the per-voltage linear fits with
+their R-squared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fitting import fit_linear_correlations
+from repro.exp.common import characterization
+
+
+@dataclass
+class Fig8Result:
+    kind: str
+    sentinel_voltage: int
+    sentinel_optima: np.ndarray  # x-axis of every scatter panel
+    optima: np.ndarray  # (n_samples, n_voltages)
+    slopes: np.ndarray
+    intercepts: np.ndarray
+    r_squared: np.ndarray
+
+    def rows(self) -> list:
+        return [
+            (
+                f"V{v}",
+                float(self.slopes[v - 1]),
+                float(self.intercepts[v - 1]),
+                float(self.r_squared[v - 1]),
+            )
+            for v in range(1, len(self.slopes) + 1)
+        ]
+
+    def min_programmed_r2(self) -> float:
+        """Worst R^2 among programmed-state voltages (V2..Vmax).
+
+        V1 borders the wide erased state and is the known outlier.
+        """
+        return float(self.r_squared[1:].min())
+
+
+def run_fig8(kind: str = "qlc") -> Fig8Result:
+    """Linear fits of every voltage's optimum against the sentinel's."""
+    result = characterization(kind)
+    model = result.model
+    slopes, intercepts, r2 = fit_linear_correlations(
+        result.optima, model.sentinel_voltage
+    )
+    return Fig8Result(
+        kind=kind,
+        sentinel_voltage=model.sentinel_voltage,
+        sentinel_optima=result.sentinel_optima,
+        optima=result.optima,
+        slopes=slopes,
+        intercepts=intercepts,
+        r_squared=r2,
+    )

@@ -1,0 +1,96 @@
+"""Table I: prediction accuracy versus the sentinel-cell ratio.
+
+For each reserving ratio, fit the error-difference polynomial on the
+training die *at that ratio* (fewer sentinels = noisier training data, just
+like on silicon), then measure |predicted - real| of the sentinel-voltage
+optimum on the evaluated die.  The paper's trade-off to reproduce: accuracy
+improves with more sentinels, with clearly diminishing returns beyond 0.2%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.characterization import characterize_chip
+from repro.exp.common import (
+    EVAL_SEED,
+    TRAIN_SEED,
+    eval_stress,
+    sim_spec,
+    training_stresses,
+)
+from repro.flash.chip import FlashChip
+from repro.flash.optimal import optimal_offset
+
+
+@dataclass
+class Table1Result:
+    kind: str
+    ratios: Tuple[float, ...]
+    mean_abs: Dict[float, float]
+    std: Dict[float, float]
+    sentinel_counts: Dict[float, int]
+
+    def rows(self) -> list:
+        return [
+            (
+                f"{ratio:.2%}",
+                self.sentinel_counts[ratio],
+                round(self.mean_abs[ratio], 2),
+                round(self.std[ratio], 2),
+            )
+            for ratio in self.ratios
+        ]
+
+    def is_monotone_improving(self, slack: float = 0.10) -> bool:
+        """Mean error should not grow as the ratio grows (within noise)."""
+        means = [self.mean_abs[r] for r in self.ratios]
+        return all(
+            later <= earlier * (1.0 + slack)
+            for earlier, later in zip(means, means[1:])
+        )
+
+
+def run_table1(
+    kind: str = "qlc",
+    ratios: Sequence[float] = (0.0002, 0.001, 0.002, 0.004, 0.006),
+    train_wordline_step: int = 8,
+    eval_wordline_step: int = 4,
+) -> Table1Result:
+    """The Table I sweep for one chip kind."""
+    spec = sim_spec(kind)
+    mean_abs: Dict[float, float] = {}
+    std: Dict[float, float] = {}
+    counts: Dict[float, int] = {}
+    for ratio in ratios:
+        train_chip = FlashChip(spec, seed=TRAIN_SEED, sentinel_ratio=ratio)
+        model = characterize_chip(
+            train_chip,
+            blocks=(0,),
+            stresses=training_stresses(kind),
+            wordlines=range(0, spec.wordlines_per_block, train_wordline_step),
+        ).model
+        chip = FlashChip(spec, seed=EVAL_SEED, sentinel_ratio=ratio)
+        chip.set_block_stress(0, eval_stress(kind))
+        diffs = []
+        for wl in chip.iter_wordlines(
+            0, range(0, spec.wordlines_per_block, eval_wordline_step)
+        ):
+            real = optimal_offset(wl, spec.sentinel_voltage)
+            readout = wl.sentinel_readout(0.0)
+            predicted = model.infer_sentinel_offset(readout.difference_rate)
+            diffs.append(abs(predicted - real))
+        arr = np.asarray(diffs)
+        mean_abs[ratio] = float(arr.mean())
+        std[ratio] = float(arr.std())
+        counts[ratio] = spec.sentinel_cells(ratio)
+    return Table1Result(
+        kind=kind,
+        ratios=tuple(ratios),
+        mean_abs=mean_abs,
+        std=std,
+        sentinel_counts=counts,
+    )

@@ -1,0 +1,160 @@
+"""Chip-level API: blocks, stress bookkeeping, and wordline access.
+
+:class:`FlashChip` is a lazy factory — wordlines are materialized on demand
+(deterministically from the chip seed) and a small LRU cache keeps the hot
+ones.  Block-level state is limited to the stress condition (P/E cycles,
+retention, temperature, read count), which is exactly what the experiments
+sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, Optional, Sequence
+
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import FlashSpec
+from repro.flash.variation import BlockVariation
+from repro.flash.wordline import OffsetsLike, ReadResult, Wordline
+
+# re-exported for convenience: most callers import StressState from here
+__all__ = ["FlashChip", "StressState"]
+
+
+class FlashChip:
+    """A simulated 3D NAND chip.
+
+    Parameters
+    ----------
+    spec:
+        Chip specification (usually a :meth:`FlashSpec.scaled` copy).
+    seed:
+        Chip identity; two chips with the same seed are identical, two chips
+        with different seeds are distinct dies of the same production batch
+        (same reliability parameters, different realizations) — which is how
+        the paper justifies programming one chip's fitted models into all
+        chips of a batch.
+    sentinel_ratio:
+        Fraction of each wordline reserved as sentinel cells (0 disables).
+    """
+
+    def __init__(
+        self,
+        spec: FlashSpec,
+        seed: int = 0,
+        sentinel_ratio: float = 0.002,
+        cache_wordlines: int = 16,
+    ) -> None:
+        if sentinel_ratio and not spec.sentinel_fits_in_free_oob(sentinel_ratio):
+            # Allowed, but flagged: Section IV-C evaluates exactly this case
+            # (sentinels stealing ECC parity space).
+            self.sentinels_fit_oob = False
+        else:
+            self.sentinels_fit_oob = True
+        self.spec = spec
+        self.seed = seed
+        self.sentinel_ratio = sentinel_ratio
+        self._stress: Dict[int, StressState] = {}
+        self._variation: Dict[int, BlockVariation] = {}
+        self._cache: "OrderedDict[tuple, Wordline]" = OrderedDict()
+        self._cache_size = cache_wordlines
+        self._erase_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # stress bookkeeping
+    # ------------------------------------------------------------------
+    def set_block_stress(self, block: int, stress: StressState) -> None:
+        """Set the stress condition of a block; cached wordlines follow."""
+        self._stress[block] = stress
+        for (b, _), wl in self._cache.items():
+            if b == block:
+                wl.set_stress(stress)
+
+    def block_stress(self, block: int) -> StressState:
+        return self._stress.get(block, StressState())
+
+    def erase_block(self, block: int) -> None:
+        """Erase bookkeeping: bumps the wear counter, resets retention."""
+        count = self._erase_counts.get(block, 0) + 1
+        self._erase_counts[block] = count
+        prior = self.block_stress(block)
+        self.set_block_stress(
+            block,
+            StressState(pe_cycles=max(prior.pe_cycles, count), retention_hours=0.0),
+        )
+
+    def erase_count(self, block: int) -> int:
+        return self._erase_counts.get(block, 0)
+
+    # ------------------------------------------------------------------
+    # wordline access
+    # ------------------------------------------------------------------
+    def block_variation(self, block: int) -> BlockVariation:
+        if block not in self._variation:
+            self._variation[block] = BlockVariation(self.spec, self.seed, block)
+        return self._variation[block]
+
+    def wordline(self, block: int, index: int) -> Wordline:
+        """Materialize (or fetch from cache) one wordline."""
+        key = (block, index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            stress = self.block_stress(block)
+            if cached.stress != stress:
+                cached.set_stress(stress)
+            return cached
+        wl = Wordline(
+            self.spec,
+            self.seed,
+            block,
+            index,
+            stress=self.block_stress(block),
+            sentinel_ratio=self.sentinel_ratio,
+            variation=self.block_variation(block),
+        )
+        self._cache[key] = wl
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return wl
+
+    def iter_wordlines(
+        self, block: int, indices: Optional[Sequence[int]] = None
+    ) -> Iterator[Wordline]:
+        """Yield wordlines lazily without populating the cache.
+
+        Use this for block-scale sweeps: each wordline is materialized,
+        yielded, and garbage-collected once the caller moves on.
+        """
+        if indices is None:
+            indices = range(self.spec.wordlines_per_block)
+        variation = self.block_variation(block)
+        stress = self.block_stress(block)
+        for index in indices:
+            yield Wordline(
+                self.spec,
+                self.seed,
+                block,
+                index,
+                stress=stress,
+                sentinel_ratio=self.sentinel_ratio,
+                variation=variation,
+            )
+
+    # ------------------------------------------------------------------
+    # convenience reads
+    # ------------------------------------------------------------------
+    def read_page(
+        self,
+        block: int,
+        wordline: int,
+        page: "int | str",
+        offsets: OffsetsLike = None,
+    ) -> ReadResult:
+        return self.wordline(block, wordline).read_page(page, offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlashChip({self.spec.name}, seed={self.seed}, "
+            f"sentinel_ratio={self.sentinel_ratio})"
+        )

@@ -1,0 +1,97 @@
+"""Ground-truth optimal read-voltage search.
+
+The *optimal* read voltage of a boundary is the threshold position that
+minimizes the number of misread cells between the two adjacent states
+(Figure 2: "there exists one optimal voltage which will introduce the lowest
+RBER").  On real chips the paper finds it by exhaustive read sweeps; the
+simulator can do it exactly from the realized cell Vth values.
+
+The search is noiseless: sensing noise is zero-mean, so the minimizer of the
+noiseless error count is the minimizer of the expected noisy count; actual
+reads at the optimum still include noise (which is why measured "optimal"
+error counts fluctuate, as the paper notes in Section IV-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flash.wordline import Wordline
+
+
+def default_search_range(pitch: int) -> Tuple[int, int]:
+    """Offset search window scaled to the state pitch (inclusive, exclusive).
+
+    Heavily-aged low boundaries need corrections approaching a full state
+    pitch, so the window reaches well below the default position.
+    """
+    return -int(0.85 * pitch), int(0.35 * pitch) + 1
+
+
+def errors_at_offsets(
+    wordline: Wordline, vindex: int, offsets: Sequence[float]
+) -> np.ndarray:
+    """Adjacent-state error count of ``V_vindex`` at each candidate offset."""
+    up, down = wordline.boundary_error_counts(vindex, np.asarray(offsets))
+    return up + down
+
+
+def optimal_offset(
+    wordline: Wordline,
+    vindex: int,
+    search_range: Optional[Tuple[int, int]] = None,
+) -> int:
+    """Integer offset minimizing the boundary errors of one read voltage.
+
+    Weakly-shifted boundaries have wide, flat error minima (a handful of
+    errors over tens of steps), so a bare argmin is dominated by counting
+    noise.  Like a real characterization sweep, we take the *center* of the
+    near-minimal window — the connected run of offsets whose error count
+    stays within a small tolerance of the minimum.
+    """
+    lo, hi = search_range or default_search_range(wordline.spec.state_pitch)
+    offsets = np.arange(lo, hi)
+    errors = errors_at_offsets(wordline, vindex, offsets)
+    best_index = int(np.argmin(errors))
+    best = int(errors[best_index])
+    tolerance = best + max(2.0, 0.03 * best)
+    run_lo = best_index
+    while run_lo - 1 >= 0 and errors[run_lo - 1] <= tolerance:
+        run_lo -= 1
+    run_hi = best_index
+    while run_hi + 1 < len(errors) and errors[run_hi + 1] <= tolerance:
+        run_hi += 1
+    return int(round((offsets[run_lo] + offsets[run_hi]) / 2.0))
+
+
+def optimal_offsets(
+    wordline: Wordline,
+    voltages: Optional[Sequence[int]] = None,
+    search_range: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
+    """Optimal offsets for the requested voltages (default: all of them).
+
+    Returns a dense array of length ``n_voltages``; entries for voltages not
+    requested are 0.
+    """
+    spec = wordline.spec
+    voltages = list(voltages) if voltages is not None else list(
+        range(1, spec.n_voltages + 1)
+    )
+    dense = np.zeros(spec.n_voltages, dtype=np.float64)
+    for v in voltages:
+        dense[v - 1] = optimal_offset(wordline, v, search_range)
+    return dense
+
+
+def min_boundary_errors(
+    wordline: Wordline,
+    vindex: int,
+    search_range: Optional[Tuple[int, int]] = None,
+) -> int:
+    """Error count at the optimal offset of one boundary (noiseless)."""
+    lo, hi = search_range or default_search_range(wordline.spec.state_pitch)
+    errors = errors_at_offsets(wordline, vindex, np.arange(lo, hi))
+    return int(errors.min())

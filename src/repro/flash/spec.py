@@ -1,0 +1,342 @@
+"""Chip specifications: geometry, voltage scale, and reliability parameters.
+
+Two reference specs mirror the chips evaluated in the paper (Micron 64-layer
+3D TLC 64GB and QLC 128GB on the YEESTOR 9083 platform):
+
+* Normalized voltage scale with a state pitch of 256 DAC steps for TLC and
+  128 for QLC (Section III-D: "the width of a voltage state, which is 256
+  for the TLC flash chip and 128 for the QLC flash chip").
+* Page layout 18592 B total = 16384 B user + 2208 B OOB, of which 2016 B is
+  LDPC parity — leaving 192 B free, "much greater than the empirical value
+  0.2%" needed for sentinels (Section III-D).
+
+Because simulating 148736 cells per wordline for every experiment is
+needlessly slow, experiments typically run on :meth:`FlashSpec.scaled`
+copies with fewer cells per wordline and fewer wordlines per block; all error
+*rates* are scale-free, only the absolute sentinel-cell counts change (noted
+in EXPERIMENTS.md where it matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Tuple
+
+import numpy as np
+
+from repro.flash.gray import GrayCode
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Tunable constants of the error mechanisms.
+
+    All voltage-like quantities are in normalized DAC steps of the owning
+    spec.  The values shipped with :data:`TLC_SPEC` / :data:`QLC_SPEC` were
+    calibrated (see ``tests/test_calibration_shapes.py``) so that the RBER
+    levels, layer spreads, optimal-offset ranges and retry counts land in the
+    ranges the paper reports.
+    """
+
+    retention_shift_steps: float  # shift of the most-shifting state, 1yr room, PE=0
+    state_weight_low: float  # relative shift of S1 (the largest)
+    state_weight_high: float  # relative shift of the top state (the smallest)
+    erase_shift_steps: float  # upward creep of the erased state per unit scale
+    pe_shift_accel: float  # retention multiplier per 1000 P/E cycles
+    t0_hours: float  # log-time constant of de-trapping
+    ea_ev: float  # Arrhenius activation energy (eV)
+    sigma_wear_coeff: float  # sigma growth: coeff * PE**exp
+    sigma_wear_exp: float
+    leak_rate_spread: float  # per-cell relative spread of retention loss
+    tail_fraction: float  # fraction of fast-detrapping (tail) cells
+    tail_scale_steps: float  # exponential tail scale at unit retention
+    read_disturb_per_mega: float  # upward steps per million reads
+    layer_shift_amp: float  # relative layer-to-layer retention variation
+    layer_sigma_amp: float  # relative layer-to-layer sigma variation
+    wordline_shift_sigma: float  # relative per-wordline shift jitter
+    state_jitter_steps: float  # per-wordline per-state mean jitter
+    nonuniform_prob: float  # probability of a spatially non-uniform wordline
+    nonuniform_amp_steps: float  # extra shift of the anomalous segment
+
+
+@dataclass(frozen=True)
+class FlashSpec:
+    """Geometry, voltage scale and reliability model of one chip type."""
+
+    name: str
+    bits_per_cell: int
+    state_pitch: int
+    layers: int
+    wordlines_per_layer: int
+    cells_per_wordline: int
+    page_bytes: int
+    user_bytes: int
+    oob_bytes: int
+    ecc_parity_bytes: int
+    sigma_prog: float
+    sigma_erase: float
+    read_noise_sigma: float
+    sentinel_voltage: int  # 1-based index of the sentinel read voltage
+    reliability: ReliabilityParams = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bits_per_cell not in (2, 3, 4):
+            raise ValueError("bits_per_cell must be 2, 3 or 4")
+        if self.page_bytes != self.user_bytes + self.oob_bytes:
+            raise ValueError("page_bytes must equal user_bytes + oob_bytes")
+        if self.ecc_parity_bytes > self.oob_bytes:
+            raise ValueError("ECC parity cannot exceed the OOB area")
+        if not 1 <= self.sentinel_voltage <= self.n_voltages:
+            raise ValueError("sentinel_voltage out of range")
+
+    # ------------------------------------------------------------------
+    # derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return 1 << self.bits_per_cell
+
+    @property
+    def n_voltages(self) -> int:
+        return self.n_states - 1
+
+    @property
+    def wordlines_per_block(self) -> int:
+        return self.layers * self.wordlines_per_layer
+
+    @property
+    def pages_per_wordline(self) -> int:
+        return self.bits_per_cell
+
+    @property
+    def pages_per_block(self) -> int:
+        return self.wordlines_per_block * self.pages_per_wordline
+
+    @cached_property
+    def gray(self) -> GrayCode:
+        return GrayCode.for_bits(self.bits_per_cell)
+
+    def layer_of_wordline(self, wordline: int) -> int:
+        """Layer index of a wordline (wordlines are filled layer by layer)."""
+        if not 0 <= wordline < self.wordlines_per_block:
+            raise IndexError(f"wordline {wordline} out of range")
+        return wordline // self.wordlines_per_layer
+
+    # ------------------------------------------------------------------
+    # voltage scale
+    # ------------------------------------------------------------------
+    @cached_property
+    def state_centers(self) -> np.ndarray:
+        """Nominal (fresh) Vth center of each state, in DAC steps.
+
+        Programmed state ``i`` sits at ``i * pitch``; the erased state sits
+        well below S1, reflecting its wide, low distribution.
+        """
+        centers = np.arange(self.n_states, dtype=np.float64) * self.state_pitch
+        centers[0] = -0.6 * self.state_pitch
+        return centers
+
+    @cached_property
+    def default_read_voltages(self) -> np.ndarray:
+        """Default read voltage ``V_i`` (index i-1), midway between fresh states."""
+        c = self.state_centers
+        return (c[:-1] + c[1:]) / 2.0
+
+    def read_voltage(self, vindex: int, offset: float = 0.0) -> float:
+        """Absolute position of ``V_vindex`` tuned by ``offset`` steps."""
+        if not 1 <= vindex <= self.n_voltages:
+            raise IndexError(f"voltage index {vindex} out of range")
+        return float(self.default_read_voltages[vindex - 1]) + offset
+
+    # ------------------------------------------------------------------
+    # OOB / sentinel budget
+    # ------------------------------------------------------------------
+    @property
+    def oob_free_bytes(self) -> int:
+        """OOB bytes left after ECC parity — the sentinel budget."""
+        return self.oob_bytes - self.ecc_parity_bytes
+
+    def sentinel_cells(self, ratio: float) -> int:
+        """Number of sentinel cells reserved at a given per-wordline ratio."""
+        if not 0.0 < ratio < 1.0:
+            raise ValueError("sentinel ratio must be in (0, 1)")
+        count = int(round(self.cells_per_wordline * ratio))
+        return max(count, 2)
+
+    def sentinel_fits_in_free_oob(self, ratio: float) -> bool:
+        """Whether the sentinel cells fit in the spare OOB cells.
+
+        One OOB byte covers 8 cells per page, i.e. 8 cells of the wordline
+        (every cell holds one bit of each page), so the free-cell budget is
+        ``oob_free_bytes / page_bytes`` of the wordline.
+        """
+        free_fraction = self.oob_free_bytes / self.page_bytes
+        return ratio <= free_fraction
+
+    # ------------------------------------------------------------------
+    # scaling for simulation
+    # ------------------------------------------------------------------
+    def scaled(
+        self,
+        cells_per_wordline: "int | None" = None,
+        wordlines_per_layer: "int | None" = None,
+        layers: "int | None" = None,
+        name_suffix: str = "-sim",
+    ) -> "FlashSpec":
+        """A reduced-size copy for fast simulation.
+
+        Page/user/OOB byte counts are scaled proportionally so overhead
+        ratios (Section III-D) stay exact.
+        """
+        cells = cells_per_wordline or self.cells_per_wordline
+        factor = cells / self.cells_per_wordline
+        return replace(
+            self,
+            name=self.name + name_suffix,
+            cells_per_wordline=cells,
+            wordlines_per_layer=wordlines_per_layer or self.wordlines_per_layer,
+            layers=layers or self.layers,
+            page_bytes=max(1, int(round(self.page_bytes * factor))),
+            user_bytes=max(1, int(round(self.user_bytes * factor))),
+            oob_bytes=max(
+                0,
+                int(round(self.page_bytes * factor))
+                - max(1, int(round(self.user_bytes * factor))),
+            ),
+            ecc_parity_bytes=int(round(self.ecc_parity_bytes * factor)),
+        )
+
+
+def _tlc_reliability() -> ReliabilityParams:
+    return ReliabilityParams(
+        retention_shift_steps=42.0,
+        state_weight_low=1.0,
+        state_weight_high=0.30,
+        erase_shift_steps=8.0,
+        pe_shift_accel=0.25,
+        t0_hours=1.0,
+        ea_ev=1.1,
+        sigma_wear_coeff=0.21,
+        sigma_wear_exp=0.55,
+        leak_rate_spread=0.15,
+        tail_fraction=0.02,
+        tail_scale_steps=30.0,
+        read_disturb_per_mega=3.0,
+        layer_shift_amp=0.25,
+        layer_sigma_amp=0.06,
+        wordline_shift_sigma=0.05,
+        state_jitter_steps=2.0,
+        nonuniform_prob=0.08,
+        nonuniform_amp_steps=10.0,
+    )
+
+
+def _qlc_reliability() -> ReliabilityParams:
+    return ReliabilityParams(
+        retention_shift_steps=48.0,
+        state_weight_low=1.0,
+        state_weight_high=0.15,
+        erase_shift_steps=5.0,
+        pe_shift_accel=0.25,
+        t0_hours=1.0,
+        ea_ev=1.1,
+        sigma_wear_coeff=0.21,
+        sigma_wear_exp=0.55,
+        leak_rate_spread=0.15,
+        tail_fraction=0.02,
+        tail_scale_steps=18.0,
+        read_disturb_per_mega=2.0,
+        layer_shift_amp=0.30,
+        layer_sigma_amp=0.06,
+        wordline_shift_sigma=0.05,
+        state_jitter_steps=1.2,
+        nonuniform_prob=0.08,
+        nonuniform_amp_steps=7.0,
+    )
+
+
+#: Paper-scale Micron-like 64-layer 3D TLC (64 GB).
+TLC_SPEC = FlashSpec(
+    name="tlc-64L",
+    bits_per_cell=3,
+    state_pitch=256,
+    layers=64,
+    wordlines_per_layer=12,
+    cells_per_wordline=148736,  # 18592 bytes * 8 bits
+    page_bytes=18592,
+    user_bytes=16384,
+    oob_bytes=2208,
+    ecc_parity_bytes=2016,
+    sigma_prog=27.0,
+    sigma_erase=65.0,
+    read_noise_sigma=6.0,
+    sentinel_voltage=4,
+    reliability=_tlc_reliability(),
+)
+
+#: Paper-scale Micron-like 64-layer 3D QLC (128 GB).
+QLC_SPEC = FlashSpec(
+    name="qlc-64L",
+    bits_per_cell=4,
+    state_pitch=128,
+    layers=64,
+    wordlines_per_layer=12,
+    cells_per_wordline=148736,
+    page_bytes=18592,
+    user_bytes=16384,
+    oob_bytes=2208,
+    ecc_parity_bytes=2016,
+    sigma_prog=13.0,
+    sigma_erase=34.0,
+    read_noise_sigma=3.5,
+    sentinel_voltage=8,
+    reliability=_qlc_reliability(),
+)
+
+
+def _mlc_reliability() -> ReliabilityParams:
+    return ReliabilityParams(
+        retention_shift_steps=70.0,
+        state_weight_low=1.0,
+        state_weight_high=0.40,
+        erase_shift_steps=14.0,
+        pe_shift_accel=0.25,
+        t0_hours=1.0,
+        ea_ev=1.1,
+        sigma_wear_coeff=0.42,
+        sigma_wear_exp=0.55,
+        leak_rate_spread=0.15,
+        tail_fraction=0.02,
+        tail_scale_steps=55.0,
+        read_disturb_per_mega=4.0,
+        layer_shift_amp=0.22,
+        layer_sigma_amp=0.06,
+        wordline_shift_sigma=0.05,
+        state_jitter_steps=3.0,
+        nonuniform_prob=0.08,
+        nonuniform_amp_steps=18.0,
+    )
+
+
+#: A 64-layer 3D MLC variant: two bits per cell, 512-step state pitch.
+#: The paper presents its method as "widely applicable to different types
+#: of NAND flash memories"; this spec exercises that claim (sentinel
+#: voltage V2, the single LSB boundary).
+MLC_SPEC = FlashSpec(
+    name="mlc-64L",
+    bits_per_cell=2,
+    state_pitch=512,
+    layers=64,
+    wordlines_per_layer=12,
+    cells_per_wordline=148736,
+    page_bytes=18592,
+    user_bytes=16384,
+    oob_bytes=2208,
+    ecc_parity_bytes=2016,
+    sigma_prog=55.0,
+    sigma_erase=130.0,
+    read_noise_sigma=11.0,
+    sentinel_voltage=2,
+    reliability=_mlc_reliability(),
+)

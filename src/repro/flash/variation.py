@@ -1,0 +1,116 @@
+"""Process variation: layer-to-layer, wordline-to-wordline, and spatial.
+
+3D NAND stacks tens of layers; channel-hole geometry varies systematically
+with etch depth, so retention speed and distribution width differ between
+layers — the paper's Figures 3 and 6 show large layer-to-layer spreads of
+both RBER and optimal read voltages.  Within a layer, wordlines differ only
+slightly; and *along* a wordline errors are nearly uniform (Figure 7), except
+for occasional anomalous wordlines whose errors concentrate spatially — the
+reason the paper needs its calibration step (Section III-C).
+
+:class:`BlockVariation` generates all of this deterministically from the chip
+seed, so a block always looks the same no matter which experiment touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.spec import FlashSpec
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class SpatialAnomaly:
+    """A contiguous segment of a wordline with extra retention loss.
+
+    ``start_frac``/``end_frac`` delimit the segment as fractions of the
+    bitline axis; cells inside shift down by ``amp_steps`` extra DAC steps
+    (scaled by the retention severity at read time).  Sentinel cells are
+    spread evenly along the wordline, so they sample the segment
+    proportionally — which biases the sentinel estimate exactly the way the
+    paper describes for its inference-failure cases.
+    """
+
+    start_frac: float
+    end_frac: float
+    amp_steps: float
+
+    def mask(self, n_cells: int) -> np.ndarray:
+        lo = int(self.start_frac * n_cells)
+        hi = int(self.end_frac * n_cells)
+        mask = np.zeros(n_cells, dtype=bool)
+        mask[lo:hi] = True
+        return mask
+
+
+@dataclass(frozen=True)
+class WordlineModifiers:
+    """Multipliers and jitters applied to one wordline's Vth synthesis."""
+
+    shift_mult: float  # multiplies the retention mean shift
+    sigma_mult: float  # multiplies the core sigma
+    state_jitter: np.ndarray  # per-state mean jitter (DAC steps)
+    anomaly: Optional[SpatialAnomaly]
+
+
+class BlockVariation:
+    """Deterministic variation profile of one block.
+
+    The per-layer retention multiplier combines a smooth profile across the
+    stack (systematic etch taper, random phase per block) with independent
+    per-layer jitter; both are bounded by ``layer_shift_amp``.
+    """
+
+    def __init__(self, spec: FlashSpec, chip_seed: int, block: int) -> None:
+        self.spec = spec
+        self.chip_seed = chip_seed
+        self.block = block
+        rel = spec.reliability
+        rng = derive_rng(chip_seed, "blockvar", block)
+        layers = spec.layers
+        idx = np.arange(layers) / max(layers - 1, 1)
+        phase = rng.uniform(0, 2 * np.pi)
+        cycles = rng.uniform(1.0, 2.5)
+        smooth = np.sin(2 * np.pi * cycles * idx + phase)
+        trend = rng.uniform(-1.0, 1.0) * (idx - 0.5) * 2.0
+        jitter = rng.uniform(-1.0, 1.0, size=layers)
+        profile = 0.45 * smooth + 0.25 * trend + 0.30 * jitter
+        profile = np.clip(profile, -1.0, 1.0)
+        self.layer_shift_mult = 1.0 + rel.layer_shift_amp * profile
+        sigma_jitter = rng.uniform(-1.0, 1.0, size=layers)
+        sigma_profile = np.clip(0.5 * profile + 0.5 * sigma_jitter, -1.0, 1.0)
+        self.layer_sigma_mult = 1.0 + rel.layer_sigma_amp * sigma_profile
+
+    def wordline_modifiers(self, wordline: int) -> WordlineModifiers:
+        """Modifiers for one wordline (deterministic in the chip seed)."""
+        spec = self.spec
+        rel = spec.reliability
+        layer = spec.layer_of_wordline(wordline)
+        rng = derive_rng(self.chip_seed, "wlvar", self.block, wordline)
+        shift_mult = float(
+            self.layer_shift_mult[layer]
+            * (1.0 + rel.wordline_shift_sigma * rng.standard_normal())
+        )
+        sigma_mult = float(
+            self.layer_sigma_mult[layer]
+            * (1.0 + 0.5 * rel.wordline_shift_sigma * rng.standard_normal())
+        )
+        state_jitter = rel.state_jitter_steps * rng.standard_normal(spec.n_states)
+        anomaly: Optional[SpatialAnomaly] = None
+        if rng.random() < rel.nonuniform_prob:
+            start = rng.uniform(0.0, 0.6)
+            length = rng.uniform(0.2, 0.4)
+            amp = rel.nonuniform_amp_steps * rng.uniform(0.6, 1.4)
+            anomaly = SpatialAnomaly(
+                start_frac=start, end_frac=min(start + length, 1.0), amp_steps=amp
+            )
+        return WordlineModifiers(
+            shift_mult=max(shift_mult, 0.1),
+            sigma_mult=max(sigma_mult, 0.5),
+            state_jitter=state_jitter,
+            anomaly=anomaly,
+        )

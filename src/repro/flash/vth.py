@@ -1,0 +1,95 @@
+"""Per-cell threshold-voltage synthesis.
+
+A cell's Vth at read time decomposes into stress-independent *latent*
+variables sampled once per wordline (program placement noise, per-cell leak
+rate, fast-detrapping tail membership) and deterministic stress-dependent
+terms (mean shift, wear widening).  Because the latents are persistent,
+evaluating the same wordline under two stress conditions — e.g. one hour at
+room temperature versus 80 degC, as in Figures 4 and 5 — moves the *same
+physical cells*, which is what makes the temperature comparisons meaningful.
+
+Distributions are a Gaussian core plus a downward exponential tail carried by
+a small fraction of fast-detrapping cells.  Real 3D NAND Vth distributions
+have exactly this shape; the tail is what lets boundary error counts stay
+informative (steep in the offset) while the RBER at the optimal voltage stays
+low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flash.mechanisms import (
+    StressState,
+    retention_scale,
+    state_mean_shifts,
+    state_shift_weights,
+    state_sigmas,
+)
+from repro.flash.spec import FlashSpec
+from repro.flash.variation import WordlineModifiers
+
+
+@dataclass(frozen=True)
+class CellLatents:
+    """Stress-independent randomness of one wordline's cells."""
+
+    prog_noise: np.ndarray  # standard normal, scaled by sigma at read time
+    leak_rate: np.ndarray  # per-cell retention multiplier, mean 1.0
+    tail_mag: np.ndarray  # >=0; nonzero only for fast-detrapping cells
+
+
+def sample_latents(spec: FlashSpec, n_cells: int, rng: np.random.Generator) -> CellLatents:
+    """Draw the persistent latent variables for ``n_cells`` cells."""
+    rel = spec.reliability
+    prog_noise = rng.standard_normal(n_cells).astype(np.float32)
+    leak_rate = (
+        1.0 + rel.leak_rate_spread * rng.standard_normal(n_cells)
+    ).astype(np.float32)
+    np.clip(leak_rate, 0.0, None, out=leak_rate)
+    tail_mask = rng.random(n_cells) < rel.tail_fraction
+    tail_mag = np.zeros(n_cells, dtype=np.float32)
+    tail_mag[tail_mask] = rng.exponential(1.0, size=int(tail_mask.sum())).astype(
+        np.float32
+    )
+    return CellLatents(prog_noise=prog_noise, leak_rate=leak_rate, tail_mag=tail_mag)
+
+
+def synthesize_vth(
+    spec: FlashSpec,
+    states: np.ndarray,
+    stress: StressState,
+    mods: WordlineModifiers,
+    latents: CellLatents,
+) -> np.ndarray:
+    """Threshold voltage of every cell under the given stress (float32).
+
+    ``vth = center(s) + jitter(s) + prog_noise * sigma(s) * sigma_mult
+    + shift(s) * shift_mult * leak_rate - tail - anomaly``
+
+    The tail and the spatial anomaly only act on programmed states and only
+    once retention has begun (both scale with the retention severity).
+    """
+    rel = spec.reliability
+    centers = spec.state_centers
+    sigmas = state_sigmas(spec, stress) * mods.sigma_mult
+    shifts = state_mean_shifts(spec, stress) * mods.shift_mult
+    rscale = retention_scale(stress, spec)
+
+    means = (centers + mods.state_jitter + 0.0)[states]
+    vth = means + latents.prog_noise * sigmas[states]
+    vth += shifts[states] * latents.leak_rate
+
+    programmed = states > 0
+    if rscale > 0.0:
+        tail_depth = rel.tail_scale_steps * min(rscale, 1.5)
+        vth -= np.where(programmed, latents.tail_mag * tail_depth, 0.0)
+        if mods.anomaly is not None:
+            weights = state_shift_weights(spec)[states]
+            seg = mods.anomaly.mask(len(states))
+            vth -= np.where(
+                seg & programmed, mods.anomaly.amp_steps * rscale * weights, 0.0
+            )
+    return vth.astype(np.float32)

@@ -1,0 +1,469 @@
+"""One wordline: programming, page reads, and error accounting.
+
+The wordline is the unit the paper operates on: sentinel cells are reserved
+per wordline, the error difference is counted per wordline, and every figure
+that sweeps "wordline number" iterates these objects.
+
+Cells split into *data cells* and *sentinel cells*.  Sentinel cells are
+spread evenly along the bitline axis (they live in spare OOB columns) and are
+programmed alternately to the two states adjacent to the sentinel voltage
+(S3/S4 for TLC, S7/S8 for QLC — Section III-B).  Error statistics exposed to
+ECC cover data cells only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import FlashSpec
+from repro.flash.variation import BlockVariation, WordlineModifiers
+from repro.flash.vth import CellLatents, sample_latents, synthesize_vth
+from repro.util.rng import derive_rng
+
+OffsetsLike = Union[None, float, Mapping[int, float], Sequence[float], np.ndarray]
+
+
+def make_offsets(spec: FlashSpec, offsets: OffsetsLike = None) -> np.ndarray:
+    """Normalize any offsets description to a dense per-voltage array.
+
+    Accepts ``None`` (all defaults), a scalar applied to every voltage, a
+    mapping ``{voltage_index: offset}`` with 1-based voltage indices, or a
+    dense array of length ``spec.n_voltages``.
+    """
+    dense = np.zeros(spec.n_voltages, dtype=np.float64)
+    if offsets is None:
+        return dense
+    if isinstance(offsets, Mapping):
+        for vindex, off in offsets.items():
+            if not 1 <= int(vindex) <= spec.n_voltages:
+                raise IndexError(f"voltage index {vindex} out of range")
+            dense[int(vindex) - 1] = float(off)
+        return dense
+    if np.isscalar(offsets):
+        dense[:] = float(offsets)
+        return dense
+    arr = np.asarray(offsets, dtype=np.float64)
+    if arr.shape != (spec.n_voltages,):
+        raise ValueError(
+            f"offsets must have shape ({spec.n_voltages},), got {arr.shape}"
+        )
+    return arr.copy()
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one page read."""
+
+    page: int
+    bits: np.ndarray  # data-cell readout bits
+    n_errors: int  # bit errors on data cells
+    n_data_cells: int
+    offsets: np.ndarray  # dense per-voltage offsets used
+    mismatch: np.ndarray  # per-data-cell error mask (bool)
+
+    @property
+    def rber(self) -> float:
+        return self.n_errors / self.n_data_cells
+
+
+@dataclass(frozen=True)
+class SentinelReadout:
+    """Error bookkeeping of the sentinel cells at one threshold position."""
+
+    up_errors: int  # low-state sentinels read above the threshold
+    down_errors: int  # high-state sentinels read below the threshold
+    n_sentinels: int
+
+    @property
+    def difference(self) -> int:
+        """The paper's error difference ``d = up - down``."""
+        return self.up_errors - self.down_errors
+
+    @property
+    def difference_rate(self) -> float:
+        return self.difference / self.n_sentinels
+
+
+class Wordline:
+    """A fully materialized wordline of one block.
+
+    Parameters
+    ----------
+    spec:
+        Chip specification.
+    chip_seed, block, index:
+        Identity; all randomness derives from these, so re-creating the same
+        wordline always yields the same cells.
+    stress:
+        Stress condition at read time (can be changed with
+        :meth:`set_stress`; the same cells are re-evaluated).
+    sentinel_ratio:
+        Fraction of cells reserved as sentinels (0 disables sentinels).
+    variation:
+        Block variation profile; created on the fly when omitted.
+    """
+
+    def __init__(
+        self,
+        spec: FlashSpec,
+        chip_seed: int,
+        block: int,
+        index: int,
+        stress: Optional[StressState] = None,
+        sentinel_ratio: float = 0.002,
+        variation: Optional[BlockVariation] = None,
+        modifiers: Optional[WordlineModifiers] = None,
+    ) -> None:
+        self.spec = spec
+        self.chip_seed = chip_seed
+        self.block = block
+        self.index = index
+        self.layer = spec.layer_of_wordline(index)
+        if modifiers is None:
+            if variation is None:
+                variation = BlockVariation(spec, chip_seed, block)
+            modifiers = variation.wordline_modifiers(index)
+        self.modifiers = modifiers
+
+        n = spec.cells_per_wordline
+        data_rng = derive_rng(chip_seed, "data", block, index)
+        self.states = data_rng.integers(0, spec.n_states, size=n).astype(np.int16)
+
+        self.sentinel_ratio = float(sentinel_ratio)
+        if sentinel_ratio > 0.0:
+            n_sent = spec.sentinel_cells(sentinel_ratio)
+            self.sentinel_indices = np.linspace(0, n - 1, n_sent).astype(np.int64)
+            s_low, s_high = spec.gray.adjacent_states(spec.sentinel_voltage)
+            sent_states = np.where(
+                np.arange(n_sent) % 2 == 0, s_low, s_high
+            ).astype(np.int16)
+            self.states[self.sentinel_indices] = sent_states
+        else:
+            self.sentinel_indices = np.empty(0, dtype=np.int64)
+
+        self._sentinel_mask = np.zeros(n, dtype=bool)
+        self._sentinel_mask[self.sentinel_indices] = True
+        self._data_mask = ~self._sentinel_mask
+
+        latent_rng = derive_rng(chip_seed, "latent", block, index)
+        self._latents: CellLatents = sample_latents(spec, n, latent_rng)
+        self._read_rng = derive_rng(chip_seed, "readnoise", block, index)
+
+        self.stress = stress or StressState()
+        self.vth = synthesize_vth(
+            spec, self.states, self.stress, self.modifiers, self._latents
+        )
+        self._sorted_by_state: Optional[Dict[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # programming user data
+    # ------------------------------------------------------------------
+    def program_pages(self, page_bits: Mapping[Union[int, str], np.ndarray]) -> None:
+        """Program explicit user data into the wordline.
+
+        ``page_bits`` must provide one bit array of length ``n_data_cells``
+        per page of the wordline (all pages of a wordline are programmed
+        together, as on one-pass-programmed 3D NAND).  Sentinel cells keep
+        their reserved pattern; data cells take the state whose Gray code
+        matches the supplied bits.  Cell voltages are re-synthesized under
+        the current stress (the latents persist, so the same cells keep
+        their physical personalities).
+        """
+        spec = self.spec
+        gray = spec.gray
+        names = [gray.page_index(p) for p in page_bits]
+        if sorted(names) != list(range(spec.pages_per_wordline)):
+            raise ValueError(
+                f"program_pages needs bits for all pages "
+                f"{gray.page_names}, got {list(page_bits)}"
+            )
+        code = np.zeros(self.n_data_cells, dtype=np.int64)
+        for page, bits in page_bits.items():
+            p = gray.page_index(page)
+            bits = np.asarray(bits)
+            if bits.shape != (self.n_data_cells,):
+                raise ValueError(
+                    f"page {page!r}: expected {self.n_data_cells} bits, "
+                    f"got {bits.shape}"
+                )
+            code |= (bits.astype(np.int64) & 1) << p
+        # invert the Gray map: bit-tuple -> state
+        keys = np.zeros(spec.n_states, dtype=np.int64)
+        for s in range(spec.n_states):
+            for p in range(spec.pages_per_wordline):
+                keys[s] |= int(gray.state_bits[s, p]) << p
+        decode = np.empty(spec.n_states, dtype=np.int16)
+        decode[keys] = np.arange(spec.n_states, dtype=np.int16)
+        self.states[self._data_mask] = decode[code]
+        self.set_stress(self.stress)
+
+    def stored_page_bits(self, page: Union[int, str]) -> np.ndarray:
+        """The data-cell bits currently stored for one page."""
+        return self.spec.gray.stored_bits(page, self.states)[self._data_mask]
+
+    # ------------------------------------------------------------------
+    # identity / geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return self.spec.cells_per_wordline
+
+    @property
+    def n_data_cells(self) -> int:
+        return self.n_cells - len(self.sentinel_indices)
+
+    @property
+    def n_sentinels(self) -> int:
+        return len(self.sentinel_indices)
+
+    @property
+    def sentinel_states(self) -> np.ndarray:
+        return self.states[self.sentinel_indices]
+
+    def set_stress(self, stress: StressState) -> None:
+        """Re-evaluate the same cells under a new stress condition."""
+        self.stress = stress
+        self.vth = synthesize_vth(
+            self.spec, self.states, stress, self.modifiers, self._latents
+        )
+        self._sorted_by_state = None
+
+    # ------------------------------------------------------------------
+    # low-level sensing
+    # ------------------------------------------------------------------
+    def _noise(self, n: int, rng: Optional[np.random.Generator]) -> np.ndarray:
+        gen = rng if rng is not None else self._read_rng
+        sigma = self.spec.read_noise_sigma
+        if sigma <= 0.0:
+            return np.zeros(n, dtype=np.float32)
+        return (sigma * gen.standard_normal(n)).astype(np.float32)
+
+    def sense_regions(
+        self,
+        positions: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        noisy: bool = True,
+    ) -> np.ndarray:
+        """Region index of every cell w.r.t. the sorted ``positions``.
+
+        Region ``r`` means the sensed Vth lies between ``positions[r-1]`` and
+        ``positions[r]``.  Sensing adds fresh comparator noise per call, so
+        two reads at identical voltages can disagree — the paper notes this
+        is why even the optimal voltages cannot be matched exactly.
+        """
+        positions = np.sort(np.asarray(positions, dtype=np.float64))
+        sensed = self.vth
+        if noisy:
+            sensed = sensed + self._noise(self.n_cells, rng)
+        return np.searchsorted(positions, sensed, side="left").astype(np.int16)
+
+    # ------------------------------------------------------------------
+    # page reads
+    # ------------------------------------------------------------------
+    def page_positions(
+        self, page: Union[int, str], offsets: OffsetsLike = None
+    ) -> np.ndarray:
+        """Absolute threshold positions applied when reading ``page``."""
+        spec = self.spec
+        dense = make_offsets(spec, offsets)
+        vindices = spec.gray.page_voltages(page)
+        return np.array(
+            [spec.read_voltage(v, dense[v - 1]) for v in vindices], dtype=np.float64
+        )
+
+    def read_page(
+        self,
+        page: Union[int, str],
+        offsets: OffsetsLike = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReadResult:
+        """Read one page; count bit errors on data cells only."""
+        spec = self.spec
+        p = spec.gray.page_index(page)
+        dense = make_offsets(spec, offsets)
+        positions = self.page_positions(p, dense)
+        regions = self.sense_regions(positions, rng)
+        pattern = spec.gray.region_bits(p)
+        bits = pattern[regions]
+        stored = spec.gray.stored_bits(p, self.states)
+        mismatch = (bits != stored)[self._data_mask]
+        n_err = int(mismatch.sum())
+        return ReadResult(
+            page=p,
+            bits=bits[self._data_mask],
+            n_errors=n_err,
+            n_data_cells=self.n_data_cells,
+            offsets=dense,
+            mismatch=mismatch,
+        )
+
+    def page_rber(
+        self,
+        page: Union[int, str],
+        offsets: OffsetsLike = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        return self.read_page(page, offsets, rng).rber
+
+    # ------------------------------------------------------------------
+    # full-state read and per-voltage error attribution
+    # ------------------------------------------------------------------
+    def read_states(
+        self,
+        offsets: OffsetsLike = None,
+        rng: Optional[np.random.Generator] = None,
+        noisy: bool = True,
+    ) -> np.ndarray:
+        """Estimated state of every cell from a read with all voltages."""
+        spec = self.spec
+        dense = make_offsets(spec, offsets)
+        positions = spec.default_read_voltages + dense
+        return self.sense_regions(positions, rng, noisy=noisy)
+
+    def per_voltage_errors(
+        self,
+        offsets: OffsetsLike = None,
+        rng: Optional[np.random.Generator] = None,
+        data_only: bool = True,
+    ) -> np.ndarray:
+        """Bit errors attributed to each read voltage (length ``n_voltages``).
+
+        A cell misread from state ``s`` to region ``r`` flips exactly one
+        page bit at every boundary it crosses (Gray coding), so boundary
+        ``V_i`` is charged one error for every cell with
+        ``min(s, r) < i <= max(s, r)``.  This is the quantity plotted per
+        voltage in Figures 16-18.
+        """
+        est = self.read_states(offsets, rng)
+        states = self.states
+        if data_only:
+            est = est[self._data_mask]
+            states = states[self._data_mask]
+        errors = np.zeros(self.spec.n_voltages, dtype=np.int64)
+        lo = np.minimum(states, est)
+        hi = np.maximum(states, est)
+        moved = hi > lo
+        if not moved.any():
+            return errors
+        lo = lo[moved]
+        hi = hi[moved]
+        # each moved cell contributes +1 to boundaries lo+1 .. hi
+        np.add.at(errors, lo, 1)
+        over = hi[hi < self.spec.n_voltages]
+        np.add.at(errors, over, -1)
+        return np.cumsum(errors)
+
+    # ------------------------------------------------------------------
+    # boundary (adjacent-state) error counting
+    # ------------------------------------------------------------------
+    def _state_sorted(self) -> Dict[int, np.ndarray]:
+        if self._sorted_by_state is None:
+            self._sorted_by_state = {
+                s: np.sort(self.vth[(self.states == s) & self._data_mask])
+                for s in range(self.spec.n_states)
+            }
+        return self._sorted_by_state
+
+    def boundary_error_counts(
+        self, vindex: int, offsets: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Noiseless up/down error counts of ``V_vindex`` over many offsets.
+
+        ``up[i]`` counts data cells of the lower state sensed above the
+        threshold placed at ``default + offsets[i]``; ``down[i]`` counts the
+        upper state sensed below it.  Used by the ground-truth optimal search.
+        """
+        spec = self.spec
+        lo_state, hi_state = spec.gray.adjacent_states(vindex)
+        sorted_states = self._state_sorted()
+        thresholds = spec.default_read_voltages[vindex - 1] + np.asarray(
+            offsets, dtype=np.float64
+        )
+        lo_vals = sorted_states[lo_state]
+        hi_vals = sorted_states[hi_state]
+        up = len(lo_vals) - np.searchsorted(lo_vals, thresholds, side="left")
+        down = np.searchsorted(hi_vals, thresholds, side="left")
+        return up.astype(np.int64), down.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # sentinel machinery
+    # ------------------------------------------------------------------
+    def sentinel_readout(
+        self,
+        offset: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SentinelReadout:
+        """Up/down errors of the sentinel cells at the sentinel voltage.
+
+        This is what the controller extracts from a (failed) read: the
+        original sentinel data is known by construction, so errors are exact.
+        """
+        if self.n_sentinels == 0:
+            raise RuntimeError("wordline has no sentinel cells")
+        spec = self.spec
+        pos = spec.read_voltage(spec.sentinel_voltage, offset)
+        idx = self.sentinel_indices
+        sensed = self.vth[idx] + self._noise(len(idx), rng)[: len(idx)]
+        high = sensed >= pos
+        s_low, s_high = spec.gray.adjacent_states(spec.sentinel_voltage)
+        sent_states = self.states[idx]
+        up = int(np.count_nonzero((sent_states == s_low) & high))
+        down = int(np.count_nonzero((sent_states == s_high) & ~high))
+        return SentinelReadout(
+            up_errors=up, down_errors=down, n_sentinels=len(idx)
+        )
+
+    def single_voltage_read(
+        self,
+        position: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Boolean sensing of every cell against one absolute threshold."""
+        sensed = self.vth + self._noise(self.n_cells, rng)
+        return sensed >= position
+
+    def state_change_counts(
+        self,
+        position_a: float,
+        position_b: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[int, int]:
+        """Cells whose single-voltage readout changes between two positions.
+
+        Returns ``(NCa, NCs)``: the count over data cells and over sentinel
+        cells, the two quantities compared by the calibration procedure of
+        Section III-C (``NCa`` vs ``NCs / r``).
+        """
+        read_a = self.single_voltage_read(position_a, rng)
+        read_b = self.single_voltage_read(position_b, rng)
+        changed = read_a != read_b
+        nca = int(np.count_nonzero(changed & self._data_mask))
+        ncs = int(np.count_nonzero(changed & self._sentinel_mask))
+        return nca, ncs
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def error_cell_indices(
+        self,
+        offsets: OffsetsLike = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Bitline indices of data cells misread by a full-state read.
+
+        Feeds the Figure 7 error-position map.
+        """
+        est = self.read_states(offsets, rng)
+        wrong = (est != self.states) & self._data_mask
+        return np.nonzero(wrong)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Wordline({self.spec.name}, block={self.block}, index={self.index}, "
+            f"layer={self.layer}, cells={self.n_cells}, "
+            f"sentinels={self.n_sentinels})"
+        )

@@ -1,0 +1,37 @@
+"""Read-retry policies: the baselines the paper compares against.
+
+All policies implement :class:`repro.retry.policy.ReadPolicy` and return a
+:class:`repro.retry.policy.ReadOutcome`, so the experiment drivers can swap
+them freely:
+
+* :class:`repro.retry.current_flash.CurrentFlashPolicy` — the vendor retry
+  table shipped in today's chips ("current flash" in the paper's figures).
+* :class:`repro.retry.tracking.TrackingPolicy` — Cai et al. (HPCA'15): track
+  the optimal voltages of one sampled wordline per block and apply them to
+  the whole block.
+* :class:`repro.retry.layer_similarity.LayerSimilarityPolicy` — Shim et al.
+  (MICRO'19): one tracked optimum per layer.
+* :class:`repro.retry.oracle.OraclePolicy` — reads at the true per-wordline
+  optimum ("OPT").
+
+The sentinel controller itself lives in :mod:`repro.core.controller`.
+"""
+
+from repro.retry.policy import ReadPolicy, ReadOutcome, ReadAttempt
+from repro.retry.current_flash import CurrentFlashPolicy, RetryTable
+from repro.retry.tracking import TrackingPolicy
+from repro.retry.layer_similarity import LayerSimilarityPolicy
+from repro.retry.oracle import OraclePolicy
+from repro.retry.tracked_sentinel import TrackedSentinelPolicy
+
+__all__ = [
+    "ReadPolicy",
+    "ReadOutcome",
+    "ReadAttempt",
+    "CurrentFlashPolicy",
+    "RetryTable",
+    "TrackingPolicy",
+    "LayerSimilarityPolicy",
+    "OraclePolicy",
+    "TrackedSentinelPolicy",
+]

@@ -1,0 +1,110 @@
+"""The "current flash" baseline: a vendor-style read-retry table.
+
+Today's chips ship a fixed table of retry voltage sets; after a decode
+failure the controller walks the table entry by entry until a read decodes or
+the table is exhausted.  Vendors shape each entry with the *typical* shift
+profile of the cell states (larger corrections for the faster-shifting lower
+states), but the table knows nothing about the actual wordline at hand — on
+an aged block that means many retries (6.6 on average in the paper's
+Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.ecc.capability import CapabilityEcc
+from repro.flash.mechanisms import (
+    HOURS_PER_YEAR,
+    StressState,
+    state_mean_shifts,
+)
+from repro.flash.spec import FlashSpec
+from repro.flash.wordline import Wordline
+from repro.retry.policy import ReadOutcome, ReadPolicy
+
+
+@dataclass(frozen=True)
+class RetryTable:
+    """An ordered list of per-voltage offset vectors."""
+
+    entries: np.ndarray  # (n_entries, n_voltages)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, index: int) -> np.ndarray:
+        return self.entries[index]
+
+    @classmethod
+    def vendor_default(
+        cls,
+        spec: FlashSpec,
+        n_entries: int = 12,
+        step_fraction: float = 0.02,
+        ramp: float = 0.08,
+    ) -> "RetryTable":
+        """A ladder of growing downward corrections.
+
+        Entry ``k`` applies ``-k * step * (1 + ramp*k) * w(i)`` to voltage
+        ``V_i``, where ``w`` is the chip's nominal per-state shift profile
+        normalized to a unit maximum — the shape a vendor would burn into
+        firmware from its own characterization.  Strides grow slightly
+        (``ramp``) so the late entries still reach heavily-shifted wordlines,
+        as real vendor tables do.  ``step_fraction`` scales the base stride
+        with the state pitch.
+        """
+        # The vendor knows the chip's mean shift profile (including the
+        # erased state creeping *up*); each boundary moves by the mean of
+        # its two adjacent state shifts.
+        shifts = state_mean_shifts(
+            spec, StressState(retention_hours=HOURS_PER_YEAR)
+        )
+        boundary_w = -(shifts[:-1] + shifts[1:]) / 2.0  # per read voltage
+        boundary_w = boundary_w / np.abs(boundary_w).max()
+        step = step_fraction * spec.state_pitch
+        entries = np.array(
+            [
+                -np.round((k + 1) * step * (1.0 + ramp * (k + 1)) * boundary_w)
+                for k in range(n_entries)
+            ],
+            dtype=np.float64,
+        )
+        return cls(entries=entries)
+
+
+class CurrentFlashPolicy(ReadPolicy):
+    """Walk the retry table until the page decodes."""
+
+    name = "current-flash"
+
+    def __init__(
+        self,
+        ecc: CapabilityEcc,
+        spec: FlashSpec,
+        table: Optional[RetryTable] = None,
+        max_retries: int = 10,
+        soft_fallback: bool = False,
+    ) -> None:
+        super().__init__(ecc, max_retries)
+        self.table = table or RetryTable.vendor_default(spec)
+        self.soft_fallback = soft_fallback
+
+    def read(
+        self,
+        wordline: Wordline,
+        page: Union[int, str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReadOutcome:
+        outcome = self.new_outcome(wordline, page)
+        if self.attempt(wordline, outcome, None, rng):
+            return outcome
+        for k in range(min(self.max_retries, len(self.table))):
+            if self.attempt(wordline, outcome, self.table.entry(k), rng):
+                return outcome
+        if self.soft_fallback:
+            self.soft_rescue(wordline, outcome, rng)
+        return outcome

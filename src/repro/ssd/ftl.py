@@ -1,0 +1,246 @@
+"""Page-mapping FTL with greedy garbage collection.
+
+Logical pages map to physical (die, block, page) slots; writes append to a
+per-die active block (dies are filled round-robin for parallelism, as in
+SSDSim's dynamic allocation).  When a die runs low on free blocks, greedy GC
+picks the block with the fewest valid pages, migrates them, and erases.
+
+The FTL emits :class:`PhysicalOp` lists; the :class:`repro.ssd.ssd.Ssd`
+device model prices and schedules them.  GC migration reads are real reads —
+they go through the same read-retry machinery as host reads, which is one of
+the reasons slow reads hurt write tails too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ssd.config import SsdConfig
+
+INVALID = np.int64(-1)
+
+
+@dataclass(frozen=True)
+class PhysicalOp:
+    """One NAND operation the device must execute."""
+
+    kind: str  # "read" | "program" | "erase"
+    die: int
+    block: int
+    page: int  # page within block (unused for erase)
+    gc: bool = False  # internal (GC) operation
+
+
+class _DieState:
+    """Bookkeeping of one die's blocks."""
+
+    __slots__ = (
+        "free_blocks",
+        "active_block",
+        "write_page",
+        "valid_count",
+        "erase_count",
+        "page_lpn",
+        "sealed",
+    )
+
+    def __init__(self, blocks: int, pages_per_block: int) -> None:
+        self.free_blocks: List[int] = list(range(blocks))
+        self.active_block: int = self.free_blocks.pop()
+        self.write_page: int = 0
+        self.valid_count = np.zeros(blocks, dtype=np.int32)
+        self.erase_count = np.zeros(blocks, dtype=np.int64)
+        # reverse map: lpn stored in each physical slot
+        self.page_lpn = np.full((blocks, pages_per_block), INVALID, dtype=np.int64)
+        self.sealed: List[int] = []  # fully-written blocks eligible for GC
+
+    def take_free_block(self, wear_leveling: bool) -> int:
+        """Allocate a free block; dynamic wear leveling takes the least
+        erased one so wear spreads instead of ping-ponging on a few blocks."""
+        if not self.free_blocks:
+            raise RuntimeError("no free blocks")
+        if not wear_leveling:
+            return self.free_blocks.pop()
+        best = min(self.free_blocks, key=lambda b: self.erase_count[b])
+        self.free_blocks.remove(best)
+        return best
+
+
+class PageMappingFtl:
+    """Page-level mapping across all dies of the SSD."""
+
+    def __init__(
+        self, config: SsdConfig, seed: int = 0, wear_leveling: bool = True
+    ) -> None:
+        self.config = config
+        self.wear_leveling = wear_leveling
+        self.mapping = np.full(config.logical_pages, INVALID, dtype=np.int64)
+        self._dies = [
+            _DieState(config.blocks_per_die, config.pages_per_block)
+            for _ in range(config.n_dies)
+        ]
+        self._next_die = 0
+        self._rng = np.random.default_rng(seed)
+        self.host_writes = 0
+        self.gc_writes = 0
+        self.gc_erases = 0
+
+    # ------------------------------------------------------------------
+    # physical address packing
+    # ------------------------------------------------------------------
+    def _pack(self, die: int, block: int, page: int) -> np.int64:
+        c = self.config
+        return np.int64(
+            (die * c.blocks_per_die + block) * c.pages_per_block + page
+        )
+
+    def _unpack(self, ppn: np.int64) -> Tuple[int, int, int]:
+        c = self.config
+        page = int(ppn % c.pages_per_block)
+        blk_global = int(ppn // c.pages_per_block)
+        return blk_global // c.blocks_per_die, blk_global % c.blocks_per_die, page
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def translate(self, lpn: int) -> Optional[Tuple[int, int, int]]:
+        """Physical (die, block, page) of a logical page, if mapped."""
+        if not 0 <= lpn < len(self.mapping):
+            raise IndexError(f"lpn {lpn} out of range")
+        ppn = self.mapping[lpn]
+        if ppn == INVALID:
+            return None
+        return self._unpack(ppn)
+
+    def read_ops(self, lpn: int) -> List[PhysicalOp]:
+        """Ops to serve a host read (reads of unmapped pages auto-map first,
+        modelling a preconditioned drive)."""
+        loc = self.translate(lpn)
+        if loc is None:
+            for _ in self.write_ops(lpn, count_host=False):
+                pass  # lazily precondition; timing of this write is not charged
+            loc = self.translate(lpn)
+            assert loc is not None
+        die, block, page = loc
+        return [PhysicalOp(kind="read", die=die, block=block, page=page)]
+
+    # ------------------------------------------------------------------
+    # writes + GC
+    # ------------------------------------------------------------------
+    def _invalidate(self, lpn: int) -> None:
+        ppn = self.mapping[lpn]
+        if ppn == INVALID:
+            return
+        die, block, page = self._unpack(ppn)
+        state = self._dies[die]
+        state.valid_count[block] -= 1
+        state.page_lpn[block, page] = INVALID
+        self.mapping[lpn] = INVALID
+
+    def _append(self, die_index: int, lpn: int) -> PhysicalOp:
+        """Place ``lpn`` at the die's write point (block roll-over included)."""
+        c = self.config
+        state = self._dies[die_index]
+        if state.write_page >= c.pages_per_block:
+            state.sealed.append(state.active_block)
+            if not state.free_blocks:
+                raise RuntimeError(
+                    f"die {die_index} out of free blocks; GC failed to keep up"
+                )
+            state.active_block = state.take_free_block(self.wear_leveling)
+            state.write_page = 0
+        block, page = state.active_block, state.write_page
+        state.write_page += 1
+        state.valid_count[block] += 1
+        state.page_lpn[block, page] = lpn
+        self.mapping[lpn] = self._pack(die_index, block, page)
+        return PhysicalOp(kind="program", die=die_index, block=block, page=page)
+
+    def write_ops(self, lpn: int, count_host: bool = True) -> List[PhysicalOp]:
+        """Ops to serve a host write: the program plus any GC it triggers."""
+        if not 0 <= lpn < len(self.mapping):
+            raise IndexError(f"lpn {lpn} out of range")
+        die_index = self._next_die
+        self._next_die = (self._next_die + 1) % self.config.n_dies
+        self._invalidate(lpn)
+        ops = [self._append(die_index, lpn)]
+        if count_host:
+            self.host_writes += 1
+        ops.extend(self._maybe_gc(die_index))
+        return ops
+
+    def _maybe_gc(self, die_index: int) -> List[PhysicalOp]:
+        c = self.config
+        state = self._dies[die_index]
+        ops: List[PhysicalOp] = []
+        if len(state.free_blocks) >= c.gc_free_block_threshold:
+            return ops
+        while len(state.free_blocks) < c.gc_stop_free_blocks and state.sealed:
+            victim = min(state.sealed, key=lambda b: self._victim_cost(state, b))
+            if state.valid_count[victim] >= c.pages_per_block:
+                break  # nothing reclaimable: migrating a full block gains nothing
+            state.sealed.remove(victim)
+            for page in range(c.pages_per_block):
+                lpn = state.page_lpn[victim, page]
+                if lpn == INVALID:
+                    continue
+                ops.append(
+                    PhysicalOp(
+                        kind="read", die=die_index, block=victim, page=page, gc=True
+                    )
+                )
+                state.valid_count[victim] -= 1
+                state.page_lpn[victim, page] = INVALID
+                self.mapping[lpn] = INVALID
+                ops.append(self._append(die_index, int(lpn)))
+                # _append marks it as a program on the active block
+                self.gc_writes += 1
+            ops.append(
+                PhysicalOp(kind="erase", die=die_index, block=victim, page=0, gc=True)
+            )
+            state.free_blocks.append(victim)
+            state.valid_count[victim] = 0
+            state.erase_count[victim] += 1
+            self.gc_erases += 1
+        return ops
+
+    def _victim_cost(self, state: _DieState, block: int) -> float:
+        """Greedy GC cost, wear-aware: prefer few valid pages, and among
+        similar candidates prefer the less-worn block (static leveling)."""
+        cost = float(state.valid_count[block])
+        if self.wear_leveling:
+            spread = state.erase_count[block] - state.erase_count.min()
+            cost += 0.5 * float(spread)
+        return cost
+
+    # ------------------------------------------------------------------
+    def erase_count_stats(self) -> dict:
+        """Wear spread across all blocks (max, mean, and max-min gap)."""
+        counts = np.concatenate([d.erase_count for d in self._dies])
+        return {
+            "max": int(counts.max()),
+            "mean": float(counts.mean()),
+            "gap": int(counts.max() - counts.min()),
+        }
+
+    # ------------------------------------------------------------------
+    def precondition(self, lpns: Iterable[int]) -> None:
+        """Map a set of logical pages without emitting timed operations."""
+        for lpn in lpns:
+            if self.mapping[lpn] == INVALID:
+                self.write_ops(int(lpn), count_host=False)
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.gc_writes) / self.host_writes
+
+    def free_block_counts(self) -> List[int]:
+        return [len(d.free_blocks) for d in self._dies]
+
+    def valid_page_total(self) -> int:
+        return int(sum(d.valid_count.sum() for d in self._dies))

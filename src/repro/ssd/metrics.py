@@ -1,0 +1,88 @@
+"""Latency and throughput summaries of one trace simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics of a latency sample (microseconds)."""
+
+    count: int
+    mean_us: float
+    median_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_samples(cls, samples: "List[float] | np.ndarray") -> "LatencyStats":
+        arr = np.asarray(samples, dtype=np.float64)
+        if len(arr) == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(arr),
+            mean_us=float(arr.mean()),
+            median_us=float(np.median(arr)),
+            p95_us=float(np.percentile(arr, 95)),
+            p99_us=float(np.percentile(arr, 99)),
+            max_us=float(arr.max()),
+        )
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:7d}  mean={self.mean_us:9.1f}us  "
+            f"p50={self.median_us:9.1f}us  p95={self.p95_us:9.1f}us  "
+            f"p99={self.p99_us:9.1f}us"
+        )
+
+
+@dataclass
+class SimulationReport:
+    """Everything a trace run produced."""
+
+    trace_name: str
+    policy_name: str
+    read_latencies_us: np.ndarray
+    write_latencies_us: np.ndarray
+    simulated_seconds: float
+    host_reads: int
+    host_writes: int
+    gc_writes: int
+    gc_erases: int
+    write_amplification: float
+    retries_sampled: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def read_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.read_latencies_us)
+
+    @property
+    def write_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.write_latencies_us)
+
+    def summary(self) -> str:
+        lines = [
+            f"trace={self.trace_name} policy={self.policy_name} "
+            f"({self.simulated_seconds:.1f}s simulated)",
+            f"  reads : {self.read_stats.row()}",
+            f"  writes: {self.write_stats.row()}",
+            f"  GC: {self.gc_writes} migrations, {self.gc_erases} erases, "
+            f"WAF={self.write_amplification:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def read_latency_reduction(
+    baseline: SimulationReport, improved: SimulationReport
+) -> float:
+    """Fractional mean read-latency reduction (the Figure 14 metric)."""
+    base = baseline.read_stats.mean_us
+    if base <= 0:
+        return 0.0
+    return 1.0 - improved.read_stats.mean_us / base

@@ -1,0 +1,99 @@
+"""Empirical retry profiles: the bridge from chip-level to system-level.
+
+Running the cell-accurate flash model for every I/O of a multi-hour block
+trace would be absurd; the paper itself feeds SSDSim with the retry
+behaviour measured on its real chips.  We do the same: a
+:class:`RetryProfile` measures the joint distribution of (retries, auxiliary
+single-voltage reads) per page type for a given read policy on an aged
+block, then replays i.i.d. samples per simulated read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.flash.chip import FlashChip
+from repro.retry.policy import ReadPolicy
+from repro.ssd.timing import NandTiming
+
+
+@dataclass
+class RetryProfile:
+    """Per-page-type empirical (retries, extra single reads) samples."""
+
+    policy_name: str
+    page_voltages: Dict[int, int]  # page type -> voltages per full read
+    samples: Dict[int, np.ndarray]  # page type -> (n, 2) [retries, extra]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def measure(
+        cls,
+        chip: FlashChip,
+        policy: ReadPolicy,
+        block: int = 0,
+        wordlines: Optional[Sequence[int]] = None,
+        pages: Optional[Sequence[int]] = None,
+    ) -> "RetryProfile":
+        """Measure a policy on one (aged) block of the chip model."""
+        spec = chip.spec
+        if wordlines is None:
+            step = max(1, spec.wordlines_per_block // 64)
+            wordlines = range(0, spec.wordlines_per_block, step)
+        page_list = list(pages) if pages is not None else list(
+            range(spec.pages_per_wordline)
+        )
+        collected: Dict[int, List[Tuple[int, int]]] = {p: [] for p in page_list}
+        voltages = {
+            p: len(spec.gray.page_voltages(p)) for p in page_list
+        }
+        for wl in chip.iter_wordlines(block, wordlines):
+            for p in page_list:
+                outcome = policy.read(wl, p)
+                collected[p].append(
+                    (outcome.retries, outcome.extra_single_reads)
+                )
+        return cls(
+            policy_name=policy.name,
+            page_voltages=voltages,
+            samples={
+                p: np.asarray(v, dtype=np.int64) for p, v in collected.items()
+            },
+        )
+
+    @classmethod
+    def ideal(cls, page_types: Sequence[int], voltages: Dict[int, int]) -> "RetryProfile":
+        """A zero-retry profile (fresh chip / perfect knowledge)."""
+        return cls(
+            policy_name="ideal",
+            page_voltages=dict(voltages),
+            samples={p: np.zeros((1, 2), dtype=np.int64) for p in page_types},
+        )
+
+    # ------------------------------------------------------------------
+    def sample(
+        self, page_type: int, rng: np.random.Generator
+    ) -> Tuple[int, int]:
+        """Draw one (retries, extra single reads) pair for a page type."""
+        pool = self.samples[page_type]
+        row = pool[rng.integers(len(pool))]
+        return int(row[0]), int(row[1])
+
+    def mean_retries(self, page_type: Optional[int] = None) -> float:
+        if page_type is not None:
+            return float(self.samples[page_type][:, 0].mean())
+        all_rows = np.vstack(list(self.samples.values()))
+        return float(all_rows[:, 0].mean())
+
+    def mean_read_us(self, timing: NandTiming) -> float:
+        """Analytic mean read service time across page types."""
+        total = 0.0
+        count = 0
+        for p, rows in self.samples.items():
+            for retries, extra in rows:
+                total += timing.read_us(self.page_voltages[p], retries, extra)
+                count += 1
+        return total / count if count else 0.0

@@ -1,0 +1,261 @@
+"""The SSD device model: schedules FTL operations over dies and channels.
+
+Scheduling model (standard SSDSim-style decomposition):
+
+* a **read** senses on its die (time proportional to the page's read
+  voltages, retries and auxiliary reads — priced by the retry profile), then
+  transfers over the die's channel;
+* a **write** transfers host data over the channel, then programs on the die;
+* an **erase** occupies the die;
+* operations of one request run in parallel across dies; the request
+  completes when its last operation does.
+
+Dies and channels are serially-occupied resources with availability clocks;
+requests are admitted in arrival order (open-loop replay of the trace).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.flash.spec import FlashSpec
+from repro.ssd.config import SsdConfig
+from repro.ssd.events import Resource
+from repro.ssd.ftl import PageMappingFtl, PhysicalOp
+from repro.ssd.metrics import SimulationReport
+from repro.ssd.retry_model import RetryProfile
+from repro.ssd.timing import NandTiming
+from repro.traces.trace import Trace
+from repro.util.rng import derive_rng
+
+# re-export for the package namespace
+__all__ = ["Ssd", "SimulationReport"]
+
+
+class Ssd:
+    """One simulated SSD bound to a retry profile (i.e., to a read policy)."""
+
+    def __init__(
+        self,
+        spec: FlashSpec,
+        config: SsdConfig,
+        timing: NandTiming,
+        retry_profile: RetryProfile,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.timing = timing
+        self.profile = retry_profile
+        self.ftl = PageMappingFtl(config, seed=seed)
+        self.rng = derive_rng(seed, "ssd", retry_profile.policy_name)
+        # Reads preempt programs/erases (program-suspend, standard in modern
+        # controllers): each die keeps one clock for reads and one for
+        # writes/erases; a read arriving during a program pays only the
+        # suspend turnaround, not the remaining program time.
+        self._die_reads = [Resource(f"die{d}:r") for d in range(config.n_dies)]
+        self._die_writes = [Resource(f"die{d}:w") for d in range(config.n_dies)]
+        self._channels = [Resource(f"ch{c}") for c in range(config.channels)]
+        self.suspend_us = 8.0
+        self.retries_sampled = 0
+
+    # ------------------------------------------------------------------
+    # per-op scheduling
+    # ------------------------------------------------------------------
+    def _page_type(self, op: PhysicalOp) -> int:
+        return op.page % self.spec.pages_per_wordline
+
+    def _schedule_op(self, op: PhysicalOp, earliest_us: float) -> float:
+        """Place one op on its die/channel; returns its completion time."""
+        channel = self._channels[self.config.channel_of_die(op.die)]
+        t = self.timing
+        if op.kind == "read":
+            read_lane = self._die_reads[op.die]
+            write_lane = self._die_writes[op.die]
+            ptype = self._page_type(op)
+            retries, extra = self.profile.sample(ptype, self.rng)
+            self.retries_sampled += retries
+            n_v = self.profile.page_voltages[ptype]
+            sense = (1 + retries) * t.sense_us(n_v) + extra * t.sense_us(1)
+            if write_lane.busy_until > max(earliest_us, read_lane.busy_until):
+                sense += self.suspend_us  # suspend an in-flight program/erase
+            transfers = (1 + retries + extra) * t.t_transfer_us
+            _, sense_end = read_lane.acquire(earliest_us, sense)
+            _, end = channel.acquire(sense_end, transfers)
+            return end
+        write_lane = self._die_writes[op.die]
+        if op.kind == "program":
+            _, xfer_end = channel.acquire(earliest_us, t.t_transfer_us)
+            # the program cannot start while a read is sensing
+            start = max(xfer_end, self._die_reads[op.die].busy_until)
+            _, end = write_lane.acquire(start, t.t_program_us)
+            return end
+        if op.kind == "erase":
+            start = max(earliest_us, self._die_reads[op.die].busy_until)
+            _, end = write_lane.acquire(start, t.t_erase_us)
+            return end
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # trace replay
+    # ------------------------------------------------------------------
+    def _lpns_of(self, lba_bytes: int, size_bytes: int) -> range:
+        page = self.config.page_user_bytes
+        first = lba_bytes // page
+        last = (lba_bytes + max(size_bytes, 1) - 1) // page
+        span = len(self.ftl.mapping)
+        return range(int(first % span), int(first % span) + int(last - first) + 1)
+
+    def _wrap(self, lpn: int) -> int:
+        return lpn % len(self.ftl.mapping)
+
+    def run_trace(
+        self,
+        trace: Trace,
+        precondition: bool = True,
+        max_requests: Optional[int] = None,
+    ) -> SimulationReport:
+        """Replay a trace open-loop; returns the latency report."""
+        if precondition:
+            touched = set()
+            for req in trace.requests[: max_requests or len(trace.requests)]:
+                for lpn in self._lpns_of(req.lba_bytes, req.size_bytes):
+                    touched.add(self._wrap(lpn))
+            self.ftl.precondition(sorted(touched))
+
+        read_lat: List[float] = []
+        write_lat: List[float] = []
+        host_reads = host_writes = 0
+        requests = trace.requests[: max_requests or len(trace.requests)]
+        for req in requests:
+            arrival_us = req.time_s * 1e6
+            completion = arrival_us
+            for lpn in self._lpns_of(req.lba_bytes, req.size_bytes):
+                lpn = self._wrap(lpn)
+                if req.is_read:
+                    ops = self.ftl.read_ops(lpn)
+                else:
+                    ops = self.ftl.write_ops(lpn)
+                op_time = arrival_us
+                for op in ops:
+                    # ops of one lpn are dependent (GC before reuse);
+                    # different lpns of the request run in parallel
+                    op_time = self._schedule_op(op, op_time)
+                completion = max(completion, op_time)
+            latency = completion - arrival_us
+            if req.is_read:
+                read_lat.append(latency)
+                host_reads += 1
+            else:
+                write_lat.append(latency)
+                host_writes += 1
+
+        sim_seconds = requests[-1].time_s - requests[0].time_s if requests else 0.0
+        return self._report(trace, read_lat, write_lat, host_reads,
+                            host_writes, sim_seconds)
+
+    def run_closed_loop(
+        self,
+        trace: Trace,
+        queue_depth: int = 8,
+        precondition: bool = True,
+        max_requests: Optional[int] = None,
+    ) -> SimulationReport:
+        """Closed-loop replay: keep ``queue_depth`` requests outstanding.
+
+        Trace arrival times are ignored; a new request is admitted whenever
+        one of the outstanding requests completes.  This measures the
+        device's *throughput* limit (reported in ``extras['iops']``) and the
+        latency under saturation — where read retries hurt the most.
+        """
+        import heapq
+
+        if precondition:
+            touched = set()
+            for req in trace.requests[: max_requests or len(trace.requests)]:
+                for lpn in self._lpns_of(req.lba_bytes, req.size_bytes):
+                    touched.add(self._wrap(lpn))
+            self.ftl.precondition(sorted(touched))
+
+        read_lat: List[float] = []
+        write_lat: List[float] = []
+        host_reads = host_writes = 0
+        outstanding: List[float] = []  # completion times
+        requests = trace.requests[: max_requests or len(trace.requests)]
+        last_completion = 0.0
+        for req in requests:
+            if len(outstanding) >= queue_depth:
+                issue_us = heapq.heappop(outstanding)
+            else:
+                issue_us = 0.0
+            completion = issue_us
+            for lpn in self._lpns_of(req.lba_bytes, req.size_bytes):
+                lpn = self._wrap(lpn)
+                ops = (
+                    self.ftl.read_ops(lpn) if req.is_read
+                    else self.ftl.write_ops(lpn)
+                )
+                op_time = issue_us
+                for op in ops:
+                    op_time = self._schedule_op(op, op_time)
+                completion = max(completion, op_time)
+            heapq.heappush(outstanding, completion)
+            last_completion = max(last_completion, completion)
+            latency = completion - issue_us
+            if req.is_read:
+                read_lat.append(latency)
+                host_reads += 1
+            else:
+                write_lat.append(latency)
+                host_writes += 1
+        report = self._report(
+            trace, read_lat, write_lat, host_reads, host_writes,
+            last_completion / 1e6,
+        )
+        if last_completion > 0:
+            report.extras["iops"] = len(requests) / (last_completion / 1e6)
+        report.extras["queue_depth"] = float(queue_depth)
+        return report
+
+    def _report(
+        self,
+        trace: Trace,
+        read_lat: List[float],
+        write_lat: List[float],
+        host_reads: int,
+        host_writes: int,
+        sim_seconds: float,
+    ) -> SimulationReport:
+        horizon = max(
+            [r.busy_until for r in self._die_reads]
+            + [r.busy_until for r in self._die_writes]
+            + [r.busy_until for r in self._channels]
+            + [1.0]
+        )
+        extras = {
+            "die_read_utilization": float(
+                np.mean([r.utilization(horizon) for r in self._die_reads])
+            ),
+            "die_write_utilization": float(
+                np.mean([r.utilization(horizon) for r in self._die_writes])
+            ),
+            "channel_utilization": float(
+                np.mean([r.utilization(horizon) for r in self._channels])
+            ),
+        }
+        return SimulationReport(
+            trace_name=trace.name,
+            policy_name=self.profile.policy_name,
+            read_latencies_us=np.asarray(read_lat),
+            write_latencies_us=np.asarray(write_lat),
+            simulated_seconds=max(sim_seconds, 0.0),
+            host_reads=host_reads,
+            host_writes=host_writes,
+            gc_writes=self.ftl.gc_writes,
+            gc_erases=self.ftl.gc_erases,
+            write_amplification=self.ftl.write_amplification,
+            retries_sampled=self.retries_sampled,
+            extras=extras,
+        )

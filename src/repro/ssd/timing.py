@@ -1,0 +1,54 @@
+"""NAND operation timing.
+
+The key property (paper, Section III-B): *read latency is proportional to the
+number of read voltages applied*.  A TLC MSB read senses 4 voltages, a QLC
+MSB read 8, so a retry of those pages is expensive — while the sentinel
+machinery's auxiliary reads sense a single voltage.
+
+Default numbers follow published 64-layer 3D TLC/QLC datasheets (tens of
+microseconds per sensing level, ~700 us program, ~3.5 ms erase, ONFI-4-class
+transfer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.retry.policy import ReadOutcome
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency model of one NAND die + channel (microseconds)."""
+
+    t_sense_base_us: float = 12.0  # fixed sensing setup per read command
+    t_sense_per_voltage_us: float = 16.0  # per applied read voltage
+    t_transfer_us: float = 25.0  # page transfer over the channel
+    t_program_us: float = 660.0
+    t_erase_us: float = 3500.0
+
+    def sense_us(self, n_voltages: int) -> float:
+        """Array sensing time of one read applying ``n_voltages``."""
+        if n_voltages < 1:
+            raise ValueError("a read applies at least one voltage")
+        return self.t_sense_base_us + n_voltages * self.t_sense_per_voltage_us
+
+    def read_us(self, page_voltages: int, retries: int = 0,
+                extra_single_reads: int = 0) -> float:
+        """Total on-die time of a complete page-read operation.
+
+        Every full read (the initial attempt plus each retry) senses
+        ``page_voltages`` levels and transfers the page for ECC; every
+        auxiliary read senses one level and also transfers (the controller
+        compares readouts host-side).
+        """
+        full_reads = 1 + retries
+        full = full_reads * (self.sense_us(page_voltages) + self.t_transfer_us)
+        extra = extra_single_reads * (self.sense_us(1) + self.t_transfer_us)
+        return full + extra
+
+    def read_outcome_us(self, outcome: ReadOutcome) -> float:
+        """Price a chip-level :class:`ReadOutcome`."""
+        return self.read_us(
+            outcome.page_voltages, outcome.retries, outcome.extra_single_reads
+        )

@@ -1,0 +1,28 @@
+"""Block I/O traces: MSR-Cambridge parsing and synthetic equivalents.
+
+The paper evaluates on eight MSR-Cambridge volume traces.  Those CSVs are
+not redistributable, so :mod:`repro.traces.synthetic` generates stand-ins
+with the published per-volume read/write mixes, footprints, request-size
+profiles and bursty arrivals; :mod:`repro.traces.msr` parses the real CSVs
+byte-for-byte when the user has them.
+"""
+
+from repro.traces.trace import Trace, TraceRequest
+from repro.traces.msr import parse_msr_csv, load_msr_trace
+from repro.traces.synthetic import (
+    MSR_WORKLOADS,
+    WorkloadParams,
+    generate_workload,
+    generate_all_workloads,
+)
+
+__all__ = [
+    "Trace",
+    "TraceRequest",
+    "parse_msr_csv",
+    "load_msr_trace",
+    "MSR_WORKLOADS",
+    "WorkloadParams",
+    "generate_workload",
+    "generate_all_workloads",
+]

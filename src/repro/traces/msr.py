@@ -1,0 +1,62 @@
+"""MSR-Cambridge trace parsing.
+
+Format (SNIA IOTTA release): CSV lines of
+
+``Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime``
+
+where ``Timestamp`` is a Windows filetime (100 ns ticks since 1601-01-01),
+``Type`` is ``Read``/``Write``, ``Offset``/``Size`` are bytes and
+``ResponseTime`` is in ticks.  Timestamps are rebased to the first request.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.traces.trace import Trace, TraceRequest
+
+_TICKS_PER_SECOND = 1e7
+
+
+def parse_msr_csv(
+    lines: Iterable[str],
+    name: str = "msr",
+    max_requests: Optional[int] = None,
+) -> Trace:
+    """Parse MSR CSV lines into a :class:`Trace`."""
+    requests: List[TraceRequest] = []
+    t0: Optional[int] = None
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 6:
+            raise ValueError(f"malformed MSR record: {line!r}")
+        ticks = int(fields[0])
+        op_name = fields[3].strip().lower()
+        if op_name not in ("read", "write"):
+            raise ValueError(f"unknown op {fields[3]!r} in record {line!r}")
+        if t0 is None:
+            t0 = ticks
+        requests.append(
+            TraceRequest(
+                time_s=(ticks - t0) / _TICKS_PER_SECOND,
+                op="R" if op_name == "read" else "W",
+                lba_bytes=int(fields[4]),
+                size_bytes=max(int(fields[5]), 512),
+            )
+        )
+        if max_requests is not None and len(requests) >= max_requests:
+            break
+    return Trace(name, requests)
+
+
+def load_msr_trace(
+    path: Union[str, Path], max_requests: Optional[int] = None
+) -> Trace:
+    """Load an MSR CSV file (e.g. ``hm_0.csv``)."""
+    path = Path(path)
+    with path.open() as handle:
+        return parse_msr_csv(handle, name=path.stem, max_requests=max_requests)

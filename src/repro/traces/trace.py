@@ -1,0 +1,77 @@
+"""Trace data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One block-level I/O request."""
+
+    time_s: float  # arrival time relative to trace start
+    op: str  # "R" or "W"
+    lba_bytes: int  # byte offset on the volume
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("R", "W"):
+            raise ValueError(f"op must be 'R' or 'W', got {self.op!r}")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.lba_bytes < 0:
+            raise ValueError("lba_bytes must be non-negative")
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == "R"
+
+
+class Trace:
+    """An ordered sequence of requests."""
+
+    def __init__(self, name: str, requests: Sequence[TraceRequest]) -> None:
+        self.name = name
+        self.requests: List[TraceRequest] = sorted(
+            requests, key=lambda r: r.time_s
+        )
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterable[TraceRequest]:
+        return iter(self.requests)
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        if not self.requests:
+            return 0.0
+        return self.requests[-1].time_s - self.requests[0].time_s
+
+    @property
+    def read_fraction(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.is_read for r in self.requests) / len(self.requests)
+
+    @property
+    def total_read_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.requests if r.is_read)
+
+    @property
+    def total_write_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.requests if not r.is_read)
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` requests as a new trace."""
+        return Trace(self.name, self.requests[:n])
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self)} reqs over {self.duration_s:.1f}s, "
+            f"{self.read_fraction:.0%} reads, "
+            f"{self.total_read_bytes / 2**20:.1f} MiB read / "
+            f"{self.total_write_bytes / 2**20:.1f} MiB written"
+        )

@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG derivation and small numeric helpers."""
+
+from repro.util.rng import derive_seed, derive_rng
+
+__all__ = ["derive_seed", "derive_rng"]

@@ -1,0 +1,35 @@
+"""Plain-text report formatting."""
+
+from repro.analysis.report import format_table, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            [("a", 1), ("longer", 22)], headers=["name", "value"]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = format_table([(1,)], title="Table I")
+        assert text.splitlines()[0] == "Table I"
+
+    def test_floats_compact(self):
+        text = format_table([(0.123456789,)])
+        assert "0.1235" in text
+
+    def test_ragged_rows_padded(self):
+        text = format_table([("a",), ("b", "c")])
+        assert len(text.splitlines()) == 2
+
+    def test_empty(self):
+        assert format_table([]) == ""
+        assert format_table([], title="t") == "t"
+
+    def test_print_table(self, capsys):
+        print_table([(1, 2)], headers=["x", "y"])
+        out = capsys.readouterr().out
+        assert "x" in out and "1" in out

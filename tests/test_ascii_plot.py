@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import density_plot, line_plot, scatter_plot
+
+
+class TestLinePlot:
+    def test_renders_with_legend(self):
+        x = np.arange(10)
+        text = line_plot(x, {"up": x, "down": x[::-1]}, width=20, height=6)
+        assert "o up" in text and "x down" in text
+        lines = text.splitlines()
+        assert len(lines) == 6 + 4  # grid + frame + axis + legend
+
+    def test_title(self):
+        text = line_plot([0, 1], {"s": [1, 2]}, title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_extremes_plotted(self):
+        x = np.arange(8)
+        text = line_plot(x, {"s": x}, width=16, height=4)
+        body = [l for l in text.splitlines() if l.strip().startswith("|")]
+        assert "o" in body[0]  # max in top row
+        assert "o" in body[-1]  # min in bottom row
+
+    def test_logy_axis_labels(self):
+        text = line_plot([0, 1, 2], {"s": [1e-4, 1e-3, 1e-2]}, logy=True)
+        assert "0.01" in text and "0.0001" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot([0, 1], {"s": [1, 2, 3]})
+
+
+class TestScatterPlot:
+    def test_renders_points(self):
+        text = scatter_plot([0, 1, 2], [0, 1, 2], width=10, height=5)
+        assert text.count(".") >= 3
+
+    def test_empty_input(self):
+        assert scatter_plot([], [], title="empty") == "empty"
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1, 2])
+
+
+class TestDensityPlot:
+    def test_hot_cell_darker(self):
+        x = [0.0] * 50 + [1.0]
+        y = [0.0] * 50 + [1.0]
+        text = density_plot(x, y, width=10, height=5)
+        assert "@" in text  # the repeated point saturates the shade scale
+
+    def test_empty(self):
+        assert density_plot([], []) == ""

@@ -1,0 +1,123 @@
+"""Binary BCH code: the exact-t guarantee, and capability cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.bch import BchCode
+from repro.ecc.capability import CapabilityEcc
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def code():
+    return BchCode(m=10, t=8)
+
+
+class TestConstruction:
+    def test_dimensions(self, code):
+        assert code.n == 1023
+        assert code.n_parity == len(code.generator) - 1
+        assert code.k == code.n - code.n_parity
+        assert code.n_parity <= code.m * code.t
+
+    def test_rate_falls_with_t(self):
+        weak = BchCode(m=10, t=4)
+        strong = BchCode(m=10, t=16)
+        assert strong.k < weak.k
+        assert strong.rate < weak.rate
+
+    def test_t_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BchCode(m=10, t=0)
+
+    def test_generator_divides_xn_minus_1(self, code):
+        """g(x) | x^n - 1: alpha^1..alpha^2t are all roots of x^n-1."""
+        gf = code.gf
+        gen = code.generator
+        for j in range(1, 2 * code.t + 1):
+            assert gf.poly_eval(gen.astype(np.int64), gf.alpha_pow(j)) == 0
+
+
+class TestEncode:
+    def test_systematic(self, code):
+        rng = derive_rng(1)
+        data = rng.integers(0, 2, code.k)
+        cw = code.encode(data)
+        np.testing.assert_array_equal(code.extract_data(cw), data)
+
+    def test_valid_codeword(self, code):
+        rng = derive_rng(2)
+        for _ in range(3):
+            assert code.is_codeword(code.encode(rng.integers(0, 2, code.k)))
+
+    def test_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.int64))
+
+    def test_linear(self, code):
+        rng = derive_rng(3)
+        a = rng.integers(0, 2, code.k)
+        b = rng.integers(0, 2, code.k)
+        np.testing.assert_array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+
+class TestDecode:
+    def test_corrects_up_to_t(self, code):
+        rng = derive_rng(4)
+        cw = code.encode(rng.integers(0, 2, code.k))
+        for n_err in range(code.t + 1):
+            r = cw.copy()
+            if n_err:
+                r[rng.choice(code.n, n_err, replace=False)] ^= 1
+            result = code.decode(r)
+            assert result.success
+            assert result.errors_corrected == n_err
+            np.testing.assert_array_equal(result.bits, cw)
+
+    def test_detects_beyond_t(self, code):
+        rng = derive_rng(5)
+        cw = code.encode(rng.integers(0, 2, code.k))
+        failures = 0
+        for trial in range(5):
+            r = cw.copy()
+            r[rng.choice(code.n, code.t + 3, replace=False)] ^= 1
+            result = code.decode(r)
+            # beyond the design distance the decoder may miscorrect to a
+            # different codeword, but it must not claim the original
+            if result.success:
+                assert not np.array_equal(result.bits, cw) or False
+            else:
+                failures += 1
+        assert failures >= 3  # overwhelmingly detected
+
+    def test_wrong_length(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(10, dtype=np.int64))
+
+    def test_zero_errors_fast_path(self, code):
+        cw = code.encode(np.zeros(code.k, dtype=np.int64))
+        result = code.decode(cw)
+        assert result.success and result.errors_corrected == 0
+
+
+class TestCapabilityCrossValidation:
+    """The threshold model must behave like the real BCH at the boundary."""
+
+    def test_threshold_matches_bch_guarantee(self, code):
+        ecc = CapabilityEcc(
+            capability_rber=code.t / code.n, frame_bits=code.n
+        )
+        rng = derive_rng(6)
+        cw = code.encode(rng.integers(0, 2, code.k))
+        for n_err in (code.t - 1, code.t, code.t + 1):
+            mask = np.zeros(code.n, dtype=bool)
+            mask[rng.choice(code.n, n_err, replace=False)] = True
+            r = cw.copy()
+            r[mask] ^= 1
+            real = code.decode(r).success and np.array_equal(
+                code.decode(r).bits, cw
+            )
+            model = ecc.decode_ok(mask)
+            assert real == model, f"divergence at {n_err} errors"

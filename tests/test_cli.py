@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestOverhead:
+    def test_reports_paper_numbers(self, capsys):
+        assert main(["overhead", "--kind", "qlc"]) == 0
+        out = capsys.readouterr().out
+        assert "297 sentinel cells" in out
+        assert "fits in free OOB" in out
+
+    def test_large_ratio_flags_parity(self, capsys):
+        main(["overhead", "--kind", "tlc", "--ratio", "0.02"])
+        assert "parity" in capsys.readouterr().out
+
+
+class TestCharacterizeAndRead:
+    def test_characterize_writes_model(self, tmp_path, capsys):
+        out = tmp_path / "model.json"
+        code = main(
+            [
+                "characterize",
+                "--kind", "tlc",
+                "--cells", "8192",
+                "--out", str(out),
+                "--wordline-step", "96",
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["sentinel_voltage"] == 4
+        assert len(data["correlations"]) >= 1
+
+    def test_read_with_saved_model(self, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "characterize",
+                "--kind", "tlc",
+                "--cells", "8192",
+                "--out", str(model_path),
+                "--wordline-step", "96",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "read",
+                "--kind", "tlc",
+                "--cells", "8192",
+                "--model", str(model_path),
+                "--wordline", "3",
+                "--pe", "5000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "current-flash" in out and "sentinel" in out and "opt" in out
+
+
+class TestFigureCommand:
+    def test_runs_fig2_driver(self, capsys):
+        # uses the cached trained model when available; otherwise fits once
+        code = main(["figure", "fig2", "--kind", "tlc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean optimal offset" in out
+        assert "reduction" in out

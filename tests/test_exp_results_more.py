@@ -1,0 +1,188 @@
+"""More unit coverage of experiment result dataclasses (synthetic inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.exp.aging_sweep import AgingSweepResult
+from repro.exp.fig4 import Fig4Result
+from repro.exp.fig5 import Fig5Result
+from repro.exp.fig6 import Fig6Result
+from repro.exp.fig7 import Fig7Result
+from repro.exp.fig8 import Fig8Result
+from repro.exp.fig15 import Fig15Result
+from repro.exp.fig16 import ErrorComparisonResult
+from repro.exp.fig18 import Fig18Result
+from repro.exp.page_breakdown import PageBreakdownResult
+
+
+class TestFig4Result:
+    def make(self):
+        return Fig4Result(
+            kind="qlc",
+            wordlines=np.arange(3),
+            room_rber={"LSB": np.array([1e-4, 2e-4, 1e-4])},
+            high_rber={"LSB": np.array([1e-3, 2e-3, 3e-3])},
+        )
+
+    def test_mean_ratio(self):
+        r = self.make()
+        assert r.mean_ratio("LSB") == pytest.approx(2e-3 / (4e-4 / 3))
+
+    def test_rows(self):
+        assert len(self.make().rows()) == 1
+
+
+class TestFig5Result:
+    def test_gap(self):
+        r = Fig5Result(
+            kind="qlc",
+            voltages=(8,),
+            wordlines=np.arange(2),
+            room_offsets={8: np.array([-4.0, -6.0])},
+            high_offsets={8: np.array([-30.0, -40.0])},
+        )
+        assert r.mean_gap(8) == pytest.approx(30.0)
+        assert r.rows()[0][0] == "V8"
+
+
+class TestFig6Result:
+    def make(self):
+        offsets = np.array([[-20.0, -5.0], [-30.0, -9.0], [-25.0, -7.0]])
+        return Fig6Result(
+            kind="qlc", layers=np.arange(3), voltages=(2, 15), offsets=offsets
+        )
+
+    def test_column_and_spread(self):
+        r = self.make()
+        np.testing.assert_array_equal(r.voltage_column(2), [-20, -30, -25])
+        assert r.spread(2) == 10.0
+        assert r.spread(15) == 4.0
+
+    def test_rows(self):
+        rows = self.make().rows()
+        assert rows[0][0] == "V2" and rows[1][0] == "V15"
+
+
+class TestFig7Result:
+    def test_rows_render(self):
+        r = Fig7Result(
+            kind="qlc",
+            n_cells=1000,
+            points=np.array([[0, 5], [1, 10]]),
+            per_wordline_errors=np.array([3.0, 5.0]),
+            uniform_fraction=0.9,
+            across_wordline_cv=0.3,
+        )
+        rows = r.rows()
+        assert rows[1][1] == "90.0%"
+
+
+class TestFig8Result:
+    def test_min_programmed_r2_excludes_v1(self):
+        r = Fig8Result(
+            kind="qlc",
+            sentinel_voltage=8,
+            sentinel_optima=np.zeros(3),
+            optima=np.zeros((3, 15)),
+            slopes=np.ones(15),
+            intercepts=np.zeros(15),
+            r_squared=np.array([0.1] + [0.8] * 14),
+        )
+        assert r.min_programmed_r2() == pytest.approx(0.8)
+        assert len(r.rows()) == 15
+
+
+class TestFig15Result:
+    def test_means(self):
+        r = Fig15Result(
+            kind="qlc",
+            after_inference=np.array([0.5, 0.9]),
+            after_calibration=np.array([0.6, 1.0]),
+        )
+        assert r.mean_inference == pytest.approx(0.7)
+        assert r.mean_calibration == pytest.approx(0.8)
+        assert r.rows()[-1][0] == "mean"
+
+
+class TestErrorComparisonResult:
+    def make(self):
+        per_mean = {
+            "default": np.array([100.0, 50.0]),
+            "inferred": np.array([10.0, 8.0]),
+            "calibrated": np.array([9.0, 7.0]),
+            "optimal": np.array([8.0, 6.0]),
+        }
+        return ErrorComparisonResult(
+            kind="tlc",
+            wordlines=np.arange(2),
+            per_voltage_mean=per_mean,
+            per_wordline={k: np.tile(v, (2, 1)) for k, v in per_mean.items()},
+        )
+
+    def test_totals_and_reduction(self):
+        r = self.make()
+        assert r.total_errors("default") == 150.0
+        assert r.reduction_vs_default("optimal") == pytest.approx(1 - 14 / 150)
+
+    def test_rows_include_total(self):
+        assert self.make().rows()[-1][0] == "total"
+
+
+class TestFig18Result:
+    def make(self):
+        per_wl = {
+            "default": np.array([[100.0], [100.0]]),
+            "calibrated": np.array([[10.0], [12.0]]),
+            "tracking": np.array([[20.0], [120.0]]),
+            "optimal": np.array([[9.0], [10.0]]),
+        }
+        return Fig18Result(
+            kind="qlc",
+            voltages=(8,),
+            per_wordline=per_wl,
+            per_voltage_mean={k: v.mean(axis=0) for k, v in per_wl.items()},
+        )
+
+    def test_tracking_hurt_fraction(self):
+        # one of two points exceeds the default
+        assert self.make().tracking_worse_than_default_fraction() == 0.5
+
+    def test_sentinel_beats_tracking(self):
+        assert self.make().sentinel_beats_tracking_fraction() == 1.0
+
+
+class TestPageBreakdownResult:
+    def test_msb_worst_detection(self):
+        r = PageBreakdownResult(
+            kind="qlc",
+            page_names=("LSB", "MSB"),
+            retries={
+                "current-flash": {"LSB": 1.0, "MSB": 7.0},
+                "sentinel": {"LSB": 0.5, "MSB": 1.0},
+            },
+            latency_us={
+                "current-flash": {"LSB": 100.0, "MSB": 900.0},
+                "sentinel": {"LSB": 80.0, "MSB": 300.0},
+            },
+        )
+        assert r.msb_worst_for("current-flash")
+        assert len(r.rows()) == 2
+
+
+class TestAgingSweepResult:
+    def make(self):
+        return AgingSweepResult(
+            kind="tlc",
+            pe_cycles=(0, 3000, 5000),
+            retries={"current-flash": np.array([0.0, 0.6, 5.0])},
+            latency_us={"current-flash": np.array([100.0, 150.0, 600.0])},
+            failures={"current-flash": np.array([0.0, 0.0, 0.02])},
+        )
+
+    def test_first_failing_pe(self):
+        assert self.make().first_failing_pe("current-flash") == 3000
+
+    def test_never_failing_returns_sentinel_value(self):
+        r = self.make()
+        r.retries["current-flash"] = np.zeros(3)
+        assert r.first_failing_pe("current-flash") == -1

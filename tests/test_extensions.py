@@ -1,0 +1,134 @@
+"""Extension features: Fig 2, read disturb, MLC, tracking+sentinel combo."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterization import characterize_chip
+from repro.ecc.capability import CapabilityEcc
+from repro.exp.fig2 import run_fig2
+from repro.exp.read_disturb import run_read_disturb
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import MLC_SPEC
+from repro.retry import TrackedSentinelPolicy, TrackingPolicy
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return run_fig2("tlc", vindex=4, wordlines=(0, 32), span=110, step=4)
+
+    def test_v_shape(self, fig2):
+        assert fig2.is_v_shaped()
+
+    def test_optimum_below_default(self, fig2):
+        assert fig2.optimal < -10
+        assert fig2.reduction > 3.0
+
+    def test_rows_render(self, fig2):
+        assert len(fig2.rows()) == 4
+
+
+class TestReadDisturb:
+    @pytest.fixture(scope="class")
+    def disturb(self):
+        return run_read_disturb(
+            "tlc",
+            read_counts=(0, 100_000, 1_000_000, 20_000_000),
+            wordline_step=64,
+        )
+
+    def test_flat_below_one_million(self, disturb):
+        """The paper's measurement: no degradation until 1e6 reads."""
+        assert disturb.flat_below_one_million(tolerance=0.10)
+
+    def test_degrades_eventually(self, disturb):
+        assert disturb.degradation(20_000_000) > 1.10
+
+    def test_rows(self, disturb):
+        assert len(disturb.rows()) == 4
+
+
+class TestMlcSpec:
+    """The method is "widely applicable to different types of NAND"."""
+
+    @pytest.fixture(scope="class")
+    def mlc(self):
+        return MLC_SPEC.scaled(
+            cells_per_wordline=16384, wordlines_per_layer=1, layers=8
+        )
+
+    def test_geometry(self, mlc):
+        assert mlc.n_states == 4 and mlc.n_voltages == 3
+        assert mlc.gray.page_names == ("LSB", "MSB")
+        assert mlc.gray.page_voltages("LSB") == (2,)
+        assert mlc.gray.page_voltages("MSB") == (1, 3)
+
+    def test_sentinel_voltage_is_lsb(self, mlc):
+        assert mlc.gray.voltage_to_page(mlc.sentinel_voltage) == 0
+
+    def test_full_pipeline_on_mlc(self, mlc):
+        from repro.core.controller import SentinelController
+
+        train = FlashChip(mlc, seed=42)
+        model = characterize_chip(
+            train,
+            blocks=(0,),
+            stresses=(
+                StressState(pe_cycles=3000, retention_hours=720),
+                StressState(pe_cycles=5000, retention_hours=8760),
+            ),
+            wordlines=range(0, 8),
+        ).model
+        chip = FlashChip(mlc, seed=1)
+        chip.set_block_stress(
+            0, StressState(pe_cycles=5000, retention_hours=8760)
+        )
+        controller = SentinelController(CapabilityEcc.for_spec(mlc), model)
+        outcomes = [
+            controller.read(chip.wordline(0, w), "MSB") for w in range(6)
+        ]
+        assert sum(o.success for o in outcomes) >= 5
+
+
+class TestTrackedSentinel:
+    @pytest.fixture()
+    def setup(self, tiny_tlc, aged_stress):
+        chip = FlashChip(tiny_tlc, seed=1)
+        chip.set_block_stress(0, aged_stress)
+        train = FlashChip(tiny_tlc, seed=42)
+        model = characterize_chip(
+            train,
+            blocks=(0,),
+            stresses=(
+                StressState(pe_cycles=1000, retention_hours=720),
+                StressState(pe_cycles=3000, retention_hours=8760),
+            ),
+            wordlines=range(0, 8),
+        ).model
+        ecc = CapabilityEcc.for_spec(tiny_tlc)
+        return chip, model, ecc
+
+    def test_reads_succeed(self, setup):
+        chip, model, ecc = setup
+        policy = TrackedSentinelPolicy(ecc, chip, model)
+        outcomes = [policy.read(chip.wordline(0, w), "MSB") for w in range(6)]
+        assert sum(o.success for o in outcomes) >= 5
+
+    def test_combo_at_least_as_good_as_tracking(self, setup):
+        chip, model, ecc = setup
+        combo = TrackedSentinelPolicy(ecc, chip, model)
+        tracking = TrackingPolicy(ecc, chip)
+        combo_retries = sum(
+            combo.read(chip.wordline(0, w), "MSB").retries for w in range(6)
+        )
+        tracking_retries = sum(
+            tracking.read(chip.wordline(0, w), "MSB").retries for w in range(6)
+        )
+        assert combo_retries <= tracking_retries + 1
+
+    def test_accounting_consistent(self, setup):
+        chip, model, ecc = setup
+        policy = TrackedSentinelPolicy(ecc, chip, model)
+        outcome = policy.read(chip.wordline(0, 2), "MSB")
+        assert len(outcome.attempts) == outcome.retries + 1

@@ -1,0 +1,90 @@
+"""Model fitting: polynomials and linear correlations."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import (
+    PolynomialFit,
+    fit_difference_polynomial,
+    fit_linear_correlations,
+)
+from repro.util.rng import derive_rng
+
+
+class TestPolynomialFit:
+    def test_recovers_linear_relation(self):
+        x = np.linspace(-0.05, 0.05, 50)
+        y = 300 * x - 5
+        fit = fit_difference_polynomial(x, y, degree=5)
+        assert fit(0.01) == pytest.approx(-2.0, abs=0.5)
+
+    def test_recovers_cubic(self):
+        x = np.linspace(-1, 1, 80)
+        y = 2 * x**3 - x
+        fit = fit_difference_polynomial(x, y, degree=5)
+        assert fit(0.5) == pytest.approx(2 * 0.125 - 0.5, abs=0.05)
+
+    def test_clips_extrapolation(self):
+        """A degree-5 fit must never amplify out-of-range inputs."""
+        x = np.linspace(-0.02, 0.02, 30)
+        y = 100 * x
+        fit = fit_difference_polynomial(x, y, degree=5)
+        assert fit(10.0) == pytest.approx(fit(0.02))
+        assert fit(-10.0) == pytest.approx(fit(-0.02))
+
+    def test_vector_evaluation(self):
+        x = np.linspace(0, 1, 20)
+        fit = fit_difference_polynomial(x, 2 * x, degree=1)
+        out = fit(np.array([0.25, 0.5]))
+        np.testing.assert_allclose(out, [0.5, 1.0], atol=1e-8)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_difference_polynomial(np.arange(4.0), np.arange(4.0), degree=5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fit_difference_polynomial(np.arange(10.0), np.arange(9.0))
+
+    def test_degree_property(self):
+        fit = PolynomialFit(coeffs=np.array([1.0, 2.0, 3.0]), x_min=0, x_max=1)
+        assert fit.degree == 2
+
+
+class TestLinearCorrelations:
+    def test_recovers_known_slopes(self):
+        rng = derive_rng(2)
+        sentinel = rng.uniform(-40, -5, size=200)
+        optima = np.empty((200, 4))
+        optima[:, 0] = 1.5 * sentinel + 3
+        optima[:, 1] = sentinel  # the sentinel voltage itself (index 2 -> V2)
+        optima[:, 2] = 0.5 * sentinel - 2
+        optima[:, 3] = -0.2 * sentinel + 1
+        slopes, intercepts, r2 = fit_linear_correlations(optima, 2)
+        assert slopes[0] == pytest.approx(1.5, abs=1e-6)
+        assert slopes[1] == 1.0 and intercepts[1] == 0.0
+        assert slopes[2] == pytest.approx(0.5, abs=1e-6)
+        assert slopes[3] == pytest.approx(-0.2, abs=1e-6)
+        assert (r2 > 0.999).all()
+
+    def test_noise_reduces_r2(self):
+        rng = derive_rng(3)
+        sentinel = rng.uniform(-40, -5, size=400)
+        noisy = 1.2 * sentinel + rng.normal(0, 10, size=400)
+        optima = np.column_stack([sentinel, noisy])
+        _, _, r2 = fit_linear_correlations(optima, 1)
+        assert 0.2 < r2[1] < 0.98
+
+    def test_constant_x_degenerates_gracefully(self):
+        optima = np.column_stack([np.full(10, -5.0), np.arange(10.0)])
+        slopes, intercepts, r2 = fit_linear_correlations(optima, 1)
+        assert slopes[1] == 0.0
+        assert intercepts[1] == pytest.approx(4.5)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear_correlations(np.zeros((1, 3)), 1)
+        with pytest.raises(IndexError):
+            fit_linear_correlations(np.zeros((5, 3)), 4)
+        with pytest.raises(ValueError):
+            fit_linear_correlations(np.zeros(5), 1)

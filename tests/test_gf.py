@@ -1,0 +1,93 @@
+"""GF(2^m) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.gf import GF2m, PRIMITIVE_POLYS, field
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return field(8)
+
+
+class TestField:
+    def test_shared_instances(self):
+        assert field(8) is field(8)
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(3)
+
+    def test_exp_log_inverse_maps(self, gf):
+        for a in (1, 2, 37, 255):
+            assert gf.exp[gf.log[a]] == a
+
+    def test_alpha_generates_whole_group(self, gf):
+        seen = {gf.alpha_pow(k) for k in range(gf.order)}
+        assert len(seen) == gf.order
+        assert 0 not in seen
+
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYS))
+    def test_all_polys_primitive(self, m):
+        f = field(m)
+        # primitivity: alpha's order is exactly 2^m - 1
+        assert f.alpha_pow(f.order) == 1
+        # exp table has no repeats inside one period
+        assert len(np.unique(f.exp[: f.order])) == f.order
+
+
+class TestArithmetic:
+    def test_mul_identity_and_zero(self, gf):
+        assert gf.mul(1, 77) == 77
+        assert gf.mul(0, 77) == 0
+
+    def test_mul_commutative_associative(self, gf):
+        a, b, c = 23, 99, 201
+        assert gf.mul(a, b) == gf.mul(b, a)
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    def test_div_inverts_mul(self, gf):
+        a, b = 45, 172
+        assert gf.div(gf.mul(a, b), b) == a
+
+    def test_div_by_zero(self, gf):
+        with pytest.raises(ZeroDivisionError):
+            gf.div(5, 0)
+
+    def test_inv(self, gf):
+        for a in (1, 2, 100, 255):
+            assert gf.mul(a, gf.inv(a)) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    def test_pow(self, gf):
+        assert gf.pow(2, 0) == 1
+        assert gf.pow(0, 5) == 0
+        assert gf.pow(3, 2) == gf.mul(3, 3)
+
+
+class TestPolynomials:
+    def test_poly_mul_against_eval(self, gf):
+        p = np.array([3, 0, 7], dtype=np.int64)
+        q = np.array([1, 5], dtype=np.int64)
+        prod = gf.poly_mul(p, q)
+        for x in (1, 2, 9, 200):
+            assert gf.poly_eval(prod, x) == gf.mul(
+                gf.poly_eval(p, x), gf.poly_eval(q, x)
+            )
+
+    def test_poly_eval_many_matches_scalar(self, gf):
+        p = np.array([7, 1, 0, 9], dtype=np.int64)
+        xs = np.array([1, 2, 3, 77, 255], dtype=np.int64)
+        many = gf.poly_eval_many(p, xs)
+        for x, v in zip(xs, many):
+            assert gf.poly_eval(p, int(x)) == v
+
+    def test_minimal_polynomial_has_root(self, gf):
+        for k in (1, 3, 5):
+            poly = np.array(gf.minimal_polynomial(k), dtype=np.int64)
+            assert gf.poly_eval(poly, gf.alpha_pow(k)) == 0
+
+    def test_minimal_polynomial_binary(self, gf):
+        assert set(gf.minimal_polynomial(7)) <= {0, 1}

@@ -1,0 +1,154 @@
+"""Real LDPC code: construction, encoding, min-sum decoding."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.ldpc import LdpcCode, _rref_gf2
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def code():
+    return LdpcCode.random_regular(512, rate=0.85, seed=3)
+
+
+class TestRref:
+    def test_identity_passthrough(self):
+        h = np.eye(3, dtype=np.uint8)
+        rref, pivots = _rref_gf2(h)
+        np.testing.assert_array_equal(rref, h)
+        np.testing.assert_array_equal(pivots, [0, 1, 2])
+
+    def test_dependent_rows_dropped(self):
+        h = np.array([[1, 0, 1], [1, 0, 1]], dtype=np.uint8)
+        rref, pivots = _rref_gf2(h)
+        assert rref.shape[0] == 1
+
+    def test_gf2_elimination(self):
+        h = np.array([[1, 1, 0, 1], [0, 1, 1, 1]], dtype=np.uint8)
+        rref, pivots = _rref_gf2(h)
+        # every pivot column is a unit vector
+        for i, col in enumerate(pivots):
+            expected = np.zeros(rref.shape[0], dtype=np.uint8)
+            expected[i] = 1
+            np.testing.assert_array_equal(rref[:, col], expected)
+
+
+class TestConstruction:
+    def test_dimensions(self, code):
+        assert code.n == 512
+        assert code.m == round(512 * 0.15)
+        assert code.k == code.n - len(code.parity_cols)
+
+    def test_column_weight(self, code):
+        weights = code.h.sum(axis=0)
+        assert weights.min() >= 3
+        assert weights.mean() < 3.6
+
+    def test_no_degenerate_checks(self, code):
+        assert code.h.sum(axis=1).min() >= 2
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LdpcCode.random_regular(128, rate=1.2)
+
+    def test_reproducible(self):
+        a = LdpcCode.random_regular(256, 0.85, seed=1)
+        b = LdpcCode.random_regular(256, 0.85, seed=1)
+        np.testing.assert_array_equal(a.h, b.h)
+
+
+class TestEncoding:
+    def test_encode_produces_codeword(self, code):
+        rng = derive_rng(4)
+        for _ in range(5):
+            data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+            cw = code.encode(data)
+            assert code.is_codeword(cw)
+
+    def test_data_recoverable(self, code):
+        rng = derive_rng(5)
+        data = rng.integers(0, 2, size=code.k).astype(np.uint8)
+        cw = code.encode(data)
+        np.testing.assert_array_equal(cw[code.data_cols], data)
+
+    def test_wrong_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(code.k + 1, dtype=np.uint8))
+
+    def test_linear(self, code):
+        rng = derive_rng(6)
+        a = rng.integers(0, 2, size=code.k).astype(np.uint8)
+        b = rng.integers(0, 2, size=code.k).astype(np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(a ^ b), code.encode(a) ^ code.encode(b)
+        )
+
+
+class TestDecoding:
+    def test_clean_input_immediate(self, code):
+        llr = np.full(code.n, 4.0)
+        result = code.decode(llr)
+        assert result.success and result.iterations == 0
+        assert not result.bits.any()
+
+    def test_corrects_a_few_errors(self, code):
+        rng = derive_rng(7)
+        for trial in range(5):
+            mask = np.zeros(code.n, dtype=bool)
+            mask[rng.choice(code.n, 4, replace=False)] = True
+            result = code.decode_error_pattern(mask, np.ones(code.n))
+            assert result.success
+
+    def test_fails_on_massive_corruption(self, code):
+        rng = derive_rng(8)
+        mask = rng.random(code.n) < 0.2
+        result = code.decode_error_pattern(mask, np.ones(code.n))
+        assert not result.success
+
+    def test_soft_confidence_helps(self, code):
+        """Low-confidence errors decode where full-confidence ones fail."""
+        rng = derive_rng(9)
+        hard_ok = soft_ok = 0
+        for trial in range(8):
+            mask = np.zeros(code.n, dtype=bool)
+            mask[rng.choice(code.n, 14, replace=False)] = True
+            hard_mag = np.ones(code.n)
+            soft_mag = np.where(mask, 0.2, 1.0)  # oracle-ish soft info
+            hard_ok += code.decode_error_pattern(mask, hard_mag).success
+            soft_ok += code.decode_error_pattern(mask, soft_mag).success
+        assert soft_ok >= hard_ok
+
+    def test_punctured_positions_recovered(self, code):
+        punct = np.zeros(code.n, dtype=bool)
+        punct[code.parity_cols[:4]] = True
+        mask = np.zeros(code.n, dtype=bool)
+        result = code.decode_error_pattern(mask, np.ones(code.n), punct)
+        assert result.success
+
+    def test_wrong_llr_length_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(code.n - 1))
+
+    def test_decode_error_pattern_success_means_all_zero(self, code):
+        mask = np.zeros(code.n, dtype=bool)
+        mask[:3] = True
+        result = code.decode_error_pattern(mask, np.ones(code.n))
+        if result.success:
+            assert not result.bits.any()
+
+
+class TestThresholdBehaviour:
+    def test_decoding_cliff_exists(self, code):
+        """Success degrades monotonically (roughly) with error count."""
+        rng = derive_rng(10)
+        rates = []
+        for n_err in (2, 10, 40):
+            ok = 0
+            for _ in range(6):
+                mask = np.zeros(code.n, dtype=bool)
+                mask[rng.choice(code.n, n_err, replace=False)] = True
+                ok += code.decode_error_pattern(mask, np.ones(code.n)).success
+            rates.append(ok)
+        assert rates[0] >= rates[-1]
+        assert rates[0] == 6  # trivial regime always decodes

@@ -1,0 +1,156 @@
+"""Error-mechanism physics: retention, temperature, wear, read disturb."""
+
+import numpy as np
+import pytest
+
+from repro.flash.mechanisms import (
+    HOURS_PER_YEAR,
+    ROOM_TEMP_C,
+    StressState,
+    arrhenius_factor,
+    read_disturb_shift,
+    retention_scale,
+    state_mean_shifts,
+    state_shift_weights,
+    state_sigmas,
+)
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+
+
+class TestStressState:
+    def test_defaults_fresh(self):
+        s = StressState()
+        assert s.pe_cycles == 0 and s.retention_hours == 0.0
+        assert s.temperature_c == ROOM_TEMP_C
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            StressState(pe_cycles=-1)
+        with pytest.raises(ValueError):
+            StressState(retention_hours=-1.0)
+        with pytest.raises(ValueError):
+            StressState(read_count=-1)
+
+    def test_with_retention_accumulates(self):
+        s = StressState(retention_hours=10.0).with_retention(5.0)
+        assert s.retention_hours == 15.0
+
+    def test_with_retention_changes_temperature(self):
+        s = StressState().with_retention(1.0, temperature_c=80.0)
+        assert s.temperature_c == 80.0
+
+    def test_key_hashable_and_distinct(self):
+        a = StressState(pe_cycles=100).key()
+        b = StressState(pe_cycles=200).key()
+        assert a != b and hash(a) != hash(b) or a != b
+
+
+class TestArrhenius:
+    def test_identity_at_reference(self):
+        assert arrhenius_factor(25.0, 1.1) == pytest.approx(1.0)
+
+    def test_80c_is_hundreds_of_times_faster(self):
+        af = arrhenius_factor(80.0, 1.1)
+        assert 300 < af < 3000
+
+    def test_cold_is_slower(self):
+        assert arrhenius_factor(0.0, 1.1) < 1.0
+
+    def test_monotone_in_temperature(self):
+        temps = [0, 25, 40, 60, 80]
+        factors = [arrhenius_factor(t, 1.1) for t in temps]
+        assert factors == sorted(factors)
+
+
+class TestRetentionScale:
+    def test_zero_at_programming(self):
+        assert retention_scale(StressState(), TLC_SPEC) == 0.0
+
+    def test_unity_at_one_year_room(self):
+        s = StressState(retention_hours=HOURS_PER_YEAR)
+        assert retention_scale(s, TLC_SPEC) == pytest.approx(1.0)
+
+    def test_pe_accelerates(self):
+        fresh = retention_scale(
+            StressState(retention_hours=1000), TLC_SPEC
+        )
+        worn = retention_scale(
+            StressState(retention_hours=1000, pe_cycles=4000), TLC_SPEC
+        )
+        assert worn > fresh * 1.5
+
+    def test_one_hot_hour_ages_like_weeks(self):
+        # Section II-B2: one hour at 80 degC changes the optimum sharply
+        hot = retention_scale(
+            StressState(retention_hours=1.0, temperature_c=80.0), TLC_SPEC
+        )
+        room = retention_scale(
+            StressState(retention_hours=1.0), TLC_SPEC
+        )
+        month_room = retention_scale(
+            StressState(retention_hours=24 * 30), TLC_SPEC
+        )
+        assert hot > 5 * room
+        assert hot > 0.5 * month_room
+
+    def test_logarithmic_time(self):
+        s1 = retention_scale(StressState(retention_hours=100), TLC_SPEC)
+        s2 = retention_scale(StressState(retention_hours=200), TLC_SPEC)
+        s3 = retention_scale(StressState(retention_hours=400), TLC_SPEC)
+        assert (s2 - s1) > (s3 - s2) * 0.9  # decelerating growth
+
+
+class TestStateShifts:
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_weights_decrease_with_state(self, spec):
+        w = state_shift_weights(spec)
+        assert w[0] == 0.0
+        programmed = w[1:]
+        assert (np.diff(programmed) <= 0).all()
+        assert programmed[0] == spec.reliability.state_weight_low
+
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_programmed_states_shift_down(self, spec):
+        s = StressState(pe_cycles=3000, retention_hours=HOURS_PER_YEAR)
+        shifts = state_mean_shifts(spec, s)
+        assert (shifts[1:] < 0).all()
+
+    def test_erased_state_creeps_up(self):
+        s = StressState(retention_hours=HOURS_PER_YEAR)
+        assert state_mean_shifts(TLC_SPEC, s)[0] > 0
+
+    def test_fresh_block_no_shift(self):
+        shifts = state_mean_shifts(TLC_SPEC, StressState())
+        np.testing.assert_allclose(shifts, 0.0)
+
+    def test_lower_states_shift_more(self):
+        # the Figure 6 pattern: V2..V5 offsets exceed V11..V15 in magnitude
+        s = StressState(pe_cycles=1000, retention_hours=HOURS_PER_YEAR)
+        shifts = state_mean_shifts(QLC_SPEC, s)
+        assert abs(shifts[1]) > abs(shifts[-1])
+
+
+class TestSigmas:
+    def test_wear_widens(self):
+        fresh = state_sigmas(TLC_SPEC, StressState())
+        worn = state_sigmas(TLC_SPEC, StressState(pe_cycles=5000))
+        assert (worn[1:] > fresh[1:]).all()
+
+    def test_erased_state_widest(self):
+        sig = state_sigmas(TLC_SPEC, StressState())
+        assert sig[0] > sig[1:].max()
+
+
+class TestReadDisturb:
+    def test_negligible_below_a_million_reads(self):
+        # the paper measured no degradation until 1e6 reads
+        shift = read_disturb_shift(TLC_SPEC, StressState(read_count=100_000))
+        assert abs(shift) < 1.0
+
+    def test_grows_with_reads(self):
+        few = read_disturb_shift(TLC_SPEC, StressState(read_count=10**6))
+        many = read_disturb_shift(TLC_SPEC, StressState(read_count=5 * 10**6))
+        assert many > few > 0
+
+    def test_zero_reads_zero_shift(self):
+        assert read_disturb_shift(TLC_SPEC, StressState()) == 0.0

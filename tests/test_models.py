@@ -1,0 +1,119 @@
+"""SentinelModel: inference plumbing and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core.fitting import PolynomialFit
+from repro.core.models import CorrelationTable, SentinelModel
+
+
+def make_model(n_voltages=7, sentinel=4, tables=None):
+    poly = PolynomialFit(
+        coeffs=np.array([500.0, -2.0]),  # offset = 500*d - 2
+        x_min=-0.1,
+        x_max=0.1,
+    )
+    if tables is None:
+        tables = [
+            CorrelationTable(
+                temp_low_c=-273.0,
+                temp_high_c=1000.0,
+                slopes=np.linspace(1.4, 0.4, n_voltages),
+                intercepts=np.zeros(n_voltages),
+            )
+        ]
+    return SentinelModel(
+        spec_name="test",
+        sentinel_voltage=sentinel,
+        n_voltages=n_voltages,
+        difference_poly=poly,
+        correlations=tables,
+    )
+
+
+class TestInference:
+    def test_sentinel_offset_from_poly(self):
+        model = make_model()
+        assert model.infer_sentinel_offset(0.01) == pytest.approx(3.0)
+
+    def test_offsets_from_sentinel_uses_slopes(self):
+        model = make_model()
+        offsets = model.offsets_from_sentinel(-10.0)
+        assert offsets[3] == -10.0  # sentinel voltage exact
+        assert offsets[0] == pytest.approx(round(1.4 * -10.0))
+
+    def test_offsets_rounded_to_integer_steps(self):
+        model = make_model()
+        offsets = model.infer_offsets(0.013)
+        assert (offsets == np.round(offsets)).all()
+
+    def test_end_to_end(self):
+        model = make_model()
+        offsets = model.infer_offsets(-0.02)
+        expected_sentinel = 500 * -0.02 - 2
+        assert offsets[3] == pytest.approx(expected_sentinel, abs=0.51)
+
+
+class TestTemperatureBins:
+    def make_binned(self):
+        tables = [
+            CorrelationTable(-273.0, 55.0, np.full(7, 1.0), np.zeros(7)),
+            CorrelationTable(55.0, 1000.0, np.full(7, 2.0), np.zeros(7)),
+        ]
+        return make_model(tables=tables)
+
+    def test_bin_selection(self):
+        model = self.make_binned()
+        cool = model.offsets_from_sentinel(-10.0, temperature_c=25.0)
+        hot = model.offsets_from_sentinel(-10.0, temperature_c=80.0)
+        assert cool[0] == -10.0 and hot[0] == -20.0
+
+    def test_out_of_range_falls_back_to_nearest(self):
+        tables = [CorrelationTable(20.0, 30.0, np.full(7, 1.0), np.zeros(7))]
+        model = make_model(tables=tables)
+        offsets = model.offsets_from_sentinel(-10.0, temperature_c=90.0)
+        assert offsets[0] == -10.0  # nearest (only) table used
+
+    def test_covers(self):
+        t = CorrelationTable(0.0, 50.0, np.zeros(3), np.zeros(3))
+        assert t.covers(0.0) and t.covers(49.9)
+        assert not t.covers(50.0)
+
+
+class TestValidation:
+    def test_requires_tables(self):
+        with pytest.raises(ValueError):
+            make_model(tables=[])
+
+    def test_table_size_must_match(self):
+        bad = [CorrelationTable(-273.0, 1000.0, np.zeros(5), np.zeros(5))]
+        with pytest.raises(ValueError):
+            make_model(n_voltages=7, tables=bad)
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self):
+        model = make_model()
+        clone = SentinelModel.from_dict(model.to_dict())
+        assert clone.sentinel_voltage == model.sentinel_voltage
+        np.testing.assert_allclose(
+            clone.difference_poly.coeffs, model.difference_poly.coeffs
+        )
+        np.testing.assert_allclose(
+            clone.correlations[0].slopes, model.correlations[0].slopes
+        )
+
+    def test_roundtrip_file(self, tmp_path):
+        model = make_model()
+        path = tmp_path / "model.json"
+        model.save(path)
+        clone = SentinelModel.load(path)
+        assert clone.infer_offsets(0.01).tolist() == model.infer_offsets(0.01).tolist()
+
+    def test_roundtrip_preserves_inference(self):
+        model = make_model()
+        clone = SentinelModel.from_dict(model.to_dict())
+        for d in (-0.05, 0.0, 0.02):
+            np.testing.assert_allclose(
+                clone.infer_offsets(d), model.infer_offsets(d)
+            )

@@ -1,0 +1,184 @@
+"""Shape tests for the paper's Section II/III observations (Figs 3-12, Table I).
+
+These run the experiment drivers at reduced scale and assert the qualitative
+claims the sentinel design is built on.  Absolute values are compared in
+EXPERIMENTS.md; the assertions here are the *shapes* that must hold for the
+reproduction to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exp.fig3 import run_fig3
+from repro.exp.fig4 import run_fig4
+from repro.exp.fig5 import run_fig5
+from repro.exp.fig6 import run_fig6
+from repro.exp.fig7 import run_fig7
+from repro.exp.fig8 import run_fig8
+from repro.exp.fig10 import run_fig10
+from repro.exp.fig12 import run_fig12
+from repro.exp.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(
+        "qlc", pe_cycles=(0, 1000, 3000), layer_step=8,
+        wordlines_per_layer_sampled=1,
+    )
+
+
+class TestFig3:
+    def test_optimal_reduces_rber_strongly(self, fig3):
+        """Order-of-magnitude RBER reduction at the optimal voltages."""
+        for pe in (1000, 3000):
+            assert fig3.reduction_factor(pe) > 5.0
+
+    def test_rber_grows_with_pe(self, fig3):
+        means = [fig3.default_rber[pe].mean() for pe in fig3.pe_cycles]
+        assert means[0] < means[1] < means[2]
+
+    def test_optimal_compresses_layer_spread(self, fig3):
+        """Even the worst layer at optimal beats most layers at default."""
+        worst_optimal = fig3.optimal_rber[3000].max()
+        median_default = np.median(fig3.default_rber[3000])
+        assert worst_optimal < median_default
+
+    def test_layers_vary_at_default(self, fig3):
+        assert fig3.layer_spread(3000, "default") > 1.5
+
+
+class TestFig4:
+    def test_one_hot_hour_beats_one_room_hour(self):
+        r = run_fig4("qlc", wordline_step=32)
+        for page in r.room_rber:
+            assert r.mean_ratio(page) > 2.0, page
+
+    def test_msb_worst_page(self):
+        r = run_fig4("qlc", wordline_step=32)
+        assert r.high_rber["MSB"].mean() >= r.high_rber["LSB"].mean()
+
+
+class TestFig5:
+    def test_heat_pushes_optima_down(self):
+        r = run_fig5("qlc", wordline_step=32)
+        for v in r.voltages:
+            assert r.mean_gap(v) > 3.0, f"V{v}"
+
+    def test_low_voltages_move_most(self):
+        r = run_fig5("qlc", voltages=(3, 14), wordline_step=32)
+        assert r.mean_gap(3) > r.mean_gap(14)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6("qlc", layer_step=4)
+
+    def test_all_programmed_optima_negative(self, fig6):
+        assert (fig6.offsets < 0).all()
+
+    def test_low_voltages_need_larger_corrections(self, fig6):
+        v2 = fig6.voltage_column(2).mean()
+        v15 = fig6.voltage_column(15).mean()
+        assert abs(v2) > 2 * abs(v15)
+
+    def test_layer_variation_visible(self, fig6):
+        # per-block/layer tracking is too coarse: each voltage's optimum
+        # spans many steps across layers
+        assert fig6.spread(2) > 8.0
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7("qlc", wordline_step=8, max_points_per_wordline=100)
+
+    def test_errors_nearly_uniform_along_wordlines(self, fig7):
+        """The foundation of the sentinel idea."""
+        assert fig7.uniform_fraction > 0.75
+
+    def test_wordlines_differ_strongly(self, fig7):
+        """The stripes: per-wordline error counts vary a lot."""
+        assert fig7.across_wordline_cv > 0.12
+
+    def test_points_shaped(self, fig7):
+        assert fig7.points.shape[1] == 2
+        assert (fig7.points[:, 1] < fig7.n_cells).all()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return run_fig8("qlc")
+
+    def test_strong_linear_correlation_mid_voltages(self, fig8):
+        # V2..V10 share the retention physics with the sentinel voltage
+        assert (fig8.r_squared[1:10] > 0.5).all()
+
+    def test_slopes_decrease_above_sentinel(self, fig8):
+        """Weakly-shifting high states depend less on the sentinel optimum."""
+        upper = fig8.slopes[fig8.sentinel_voltage - 1 :]
+        assert (np.diff(upper) < 0.1).all()
+        assert upper[-1] < upper[0]
+
+    def test_sentinel_column_identity(self, fig8):
+        v = fig8.sentinel_voltage
+        assert fig8.slopes[v - 1] == 1.0
+        assert fig8.r_squared[v - 1] == 1.0
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return run_fig10("tlc", wordline_step=8)
+
+    def test_direction_always_right(self, fig10):
+        """Calibration relies on the inferred direction being correct."""
+        assert fig10.direction_accuracy() > 0.95
+
+    def test_inferred_close_to_groundtruth(self, fig10):
+        # within a small fraction of the 256-step state pitch
+        assert fig10.mean_abs_error() < 15.0
+
+    def test_training_relationship_monotone(self, fig10):
+        """More negative d (more down errors) -> more negative optimum."""
+        lo = fig10.poly_coeffs is not None
+        assert lo
+        xs = np.linspace(
+            fig10.train_d_rates.min(), fig10.train_d_rates.max(), 20
+        )
+        from repro.exp.common import characterization
+
+        poly = characterization("tlc").model.difference_poly
+        ys = poly(xs)
+        assert ys[0] < ys[-1]  # increasing overall
+
+
+class TestFig12:
+    def test_state_change_ordering(self):
+        """Overshoot changes more cells than exact, undershoot fewer."""
+        r = run_fig12("qlc", deltas=(-6, 0, 6), wordline_step=16)
+        overshoot, exact, undershoot = r.normalized_counts
+        assert overshoot >= exact >= undershoot
+        assert exact == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTable1:
+    def test_more_sentinels_better_accuracy(self):
+        r = run_table1(
+            "qlc",
+            ratios=(0.0002, 0.002, 0.006),
+            train_wordline_step=16,
+            eval_wordline_step=8,
+        )
+        assert r.is_monotone_improving(slack=0.15)
+        assert r.mean_abs[0.0002] > r.mean_abs[0.006]
+
+    def test_errors_small_versus_pitch(self):
+        r = run_table1(
+            "qlc", ratios=(0.002,), train_wordline_step=16, eval_wordline_step=8
+        )
+        # "the average of offset difference in the table is very small"
+        # compared to the state width (128 for QLC)
+        assert r.mean_abs[0.002] < 128 * 0.08

@@ -1,0 +1,103 @@
+"""Property-based tests of the core model plumbing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitting import fit_difference_polynomial, fit_linear_correlations
+from repro.core.models import CorrelationTable, SentinelModel
+from repro.flash.wordline import make_offsets
+from repro.flash.spec import TLC_SPEC
+from repro.util.rng import derive_seed
+
+
+@given(
+    coeff=st.floats(min_value=-500, max_value=500, allow_nan=False),
+    intercept=st.floats(min_value=-30, max_value=30, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_polynomial_fit_recovers_lines(coeff, intercept):
+    x = np.linspace(-0.05, 0.05, 40)
+    y = coeff * x + intercept
+    fit = fit_difference_polynomial(x, y, degree=5)
+    probe = 0.013
+    assert abs(fit(probe) - (coeff * probe + intercept)) < 1.0
+
+
+@given(x=st.floats(allow_nan=False, allow_infinity=False))
+@settings(max_examples=50, deadline=None)
+def test_polynomial_eval_always_bounded(x):
+    """The clipped domain bounds the output for ANY input."""
+    xs = np.linspace(-0.05, 0.05, 40)
+    fit = fit_difference_polynomial(xs, 400 * xs, degree=5)
+    lo = min(fit(fit.x_min), fit(fit.x_max))
+    hi = max(fit(fit.x_min), fit(fit.x_max))
+    assert lo - 2.0 <= fit(x) <= hi + 2.0
+
+
+@given(
+    sentinel_offset=st.floats(min_value=-100, max_value=50, allow_nan=False),
+    temperature=st.floats(min_value=-20, max_value=120, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_model_inference_always_integer_and_finite(sentinel_offset, temperature):
+    from repro.core.fitting import PolynomialFit
+
+    model = SentinelModel(
+        spec_name="prop",
+        sentinel_voltage=4,
+        n_voltages=7,
+        difference_poly=PolynomialFit(
+            coeffs=np.array([300.0, 0.0]), x_min=-0.1, x_max=0.1
+        ),
+        correlations=[
+            CorrelationTable(-273.0, 55.0, np.linspace(1.3, 0.3, 7), np.zeros(7)),
+            CorrelationTable(55.0, 1000.0, np.linspace(1.6, 0.4, 7), np.ones(7)),
+        ],
+    )
+    offsets = model.offsets_from_sentinel(sentinel_offset, temperature)
+    assert np.isfinite(offsets).all()
+    assert (offsets == np.round(offsets)).all()
+    # the sentinel entry passes through exactly, up to integer rounding
+    assert offsets[3] == np.round(sentinel_offset)
+
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_make_offsets_mapping_roundtrip(data):
+    mapping = data.draw(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=7),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            max_size=7,
+        )
+    )
+    dense = make_offsets(TLC_SPEC, mapping)
+    for v, off in mapping.items():
+        assert dense[v - 1] == off
+
+
+@given(
+    keys=st.lists(
+        st.one_of(st.integers(), st.text(max_size=8), st.floats(allow_nan=False)),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_seed_derivation_stable(keys):
+    assert derive_seed(*keys) == derive_seed(*keys)
+
+
+@given(
+    slope=st.floats(min_value=-3, max_value=3, allow_nan=False),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_linear_correlation_exact_on_noiseless_data(slope, data):
+    n = data.draw(st.integers(min_value=5, max_value=40))
+    x = np.linspace(-50, -5, n)
+    optima = np.column_stack([x, slope * x + 2.0])
+    slopes, intercepts, r2 = fit_linear_correlations(optima, 1)
+    assert abs(slopes[1] - slope) < 1e-6
+    assert abs(intercepts[1] - 2.0) < 1e-6

@@ -1,0 +1,67 @@
+"""Property-based tests of the Gray coding invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.gray import GrayCode
+
+bits_strategy = st.sampled_from([2, 3, 4])
+
+
+@given(bits=bits_strategy)
+def test_every_state_unique(bits):
+    g = GrayCode.for_bits(bits)
+    rows = {tuple(row) for row in g.state_bits}
+    assert len(rows) == g.n_states
+
+
+@given(bits=bits_strategy, data=st.data())
+def test_single_misread_single_bit_error(bits, data):
+    """A cell misread into an adjacent state corrupts exactly one page."""
+    g = GrayCode.for_bits(bits)
+    s = data.draw(st.integers(min_value=0, max_value=g.n_states - 2))
+    diff = (g.state_bits[s] != g.state_bits[s + 1]).sum()
+    assert diff == 1
+
+
+@given(bits=bits_strategy, data=st.data())
+def test_misread_cost_equals_boundaries_crossed(bits, data):
+    """Reading state ``a`` as ``b`` flips exactly |a-b| page bits."""
+    g = GrayCode.for_bits(bits)
+    a = data.draw(st.integers(min_value=0, max_value=g.n_states - 1))
+    b = data.draw(st.integers(min_value=0, max_value=g.n_states - 1))
+    flips = (g.state_bits[a] != g.state_bits[b]).sum()
+    assert flips <= abs(a - b)
+    if abs(a - b) == 1:
+        assert flips == 1
+
+
+@given(bits=bits_strategy)
+def test_page_voltage_sets_partition_all_voltages(bits):
+    g = GrayCode.for_bits(bits)
+    seen = []
+    for p in range(g.n_pages):
+        seen.extend(g.page_voltages(p))
+    assert sorted(seen) == list(range(1, g.n_voltages + 1))
+
+
+@given(bits=bits_strategy, data=st.data())
+@settings(max_examples=30)
+def test_region_bits_consistent_with_full_read(bits, data):
+    """Reading a page via regions equals looking up the state's stored bit."""
+    g = GrayCode.for_bits(bits)
+    page = data.draw(st.integers(min_value=0, max_value=g.n_pages - 1))
+    states = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=g.n_states - 1),
+                min_size=1,
+                max_size=32,
+            )
+        )
+    )
+    voltages = g.page_voltages(page)
+    regions = np.array([sum(1 for v in voltages if v <= s) for s in states])
+    pattern = g.region_bits(page)
+    np.testing.assert_array_equal(pattern[regions], g.stored_bits(page, states))

@@ -1,0 +1,83 @@
+"""Property-based tests of the error-mechanism physics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.mechanisms import (
+    StressState,
+    arrhenius_factor,
+    retention_scale,
+    state_mean_shifts,
+    state_sigmas,
+)
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+
+specs = st.sampled_from([TLC_SPEC, QLC_SPEC])
+hours = st.floats(min_value=0.0, max_value=50000.0, allow_nan=False)
+temps = st.floats(min_value=-10.0, max_value=110.0, allow_nan=False)
+pes = st.integers(min_value=0, max_value=20000)
+
+
+@given(spec=specs, t1=hours, t2=hours, temp=temps, pe=pes)
+@settings(max_examples=60, deadline=None)
+def test_retention_monotone_in_time(spec, t1, t2, temp, pe):
+    lo, hi = sorted([t1, t2])
+    a = retention_scale(
+        StressState(pe_cycles=pe, retention_hours=lo, temperature_c=temp), spec
+    )
+    b = retention_scale(
+        StressState(pe_cycles=pe, retention_hours=hi, temperature_c=temp), spec
+    )
+    assert b >= a >= 0.0
+
+
+@given(spec=specs, t=hours, temp1=temps, temp2=temps, pe=pes)
+@settings(max_examples=60, deadline=None)
+def test_retention_monotone_in_temperature(spec, t, temp1, temp2, pe):
+    lo, hi = sorted([temp1, temp2])
+    a = retention_scale(
+        StressState(pe_cycles=pe, retention_hours=t, temperature_c=lo), spec
+    )
+    b = retention_scale(
+        StressState(pe_cycles=pe, retention_hours=t, temperature_c=hi), spec
+    )
+    assert b >= a
+
+
+@given(spec=specs, t=hours, temp=temps, pe1=pes, pe2=pes)
+@settings(max_examples=60, deadline=None)
+def test_retention_monotone_in_wear(spec, t, temp, pe1, pe2):
+    lo, hi = sorted([pe1, pe2])
+    a = retention_scale(
+        StressState(pe_cycles=lo, retention_hours=t, temperature_c=temp), spec
+    )
+    b = retention_scale(
+        StressState(pe_cycles=hi, retention_hours=t, temperature_c=temp), spec
+    )
+    assert b >= a
+
+
+@given(temp=temps)
+@settings(max_examples=40, deadline=None)
+def test_arrhenius_positive_and_finite(temp):
+    af = arrhenius_factor(temp, 1.1)
+    assert 0.0 < af < 1e12
+
+
+@given(spec=specs, t=hours, temp=temps, pe=pes)
+@settings(max_examples=40, deadline=None)
+def test_programmed_shifts_never_positive(spec, t, temp, pe):
+    stress = StressState(pe_cycles=pe, retention_hours=t, temperature_c=temp)
+    shifts = state_mean_shifts(spec, stress)
+    assert (shifts[1:] <= 1e-9).all()
+    assert np.isfinite(shifts).all()
+
+
+@given(spec=specs, pe1=pes, pe2=pes)
+@settings(max_examples=40, deadline=None)
+def test_sigma_monotone_in_wear(spec, pe1, pe2):
+    lo, hi = sorted([pe1, pe2])
+    a = state_sigmas(spec, StressState(pe_cycles=lo))
+    b = state_sigmas(spec, StressState(pe_cycles=hi))
+    assert (b >= a - 1e-12).all()

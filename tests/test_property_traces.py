@@ -1,0 +1,49 @@
+"""Property-based tests of the synthetic trace generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.synthetic import MSR_WORKLOADS, generate_workload
+
+workload_names = st.sampled_from(sorted(MSR_WORKLOADS))
+seeds = st.integers(min_value=0, max_value=1000)
+
+
+@given(name=workload_names, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_arrivals_sorted_and_positive(name, seed):
+    trace = generate_workload(MSR_WORKLOADS[name], n_requests=200, seed=seed)
+    times = np.array([r.time_s for r in trace])
+    assert (np.diff(times) >= 0).all()
+    assert (times > 0).all()
+
+
+@given(name=workload_names, seed=seeds)
+@settings(max_examples=20, deadline=None)
+def test_addresses_within_footprint(name, seed):
+    params = MSR_WORKLOADS[name]
+    trace = generate_workload(params, n_requests=200, seed=seed)
+    for req in trace:
+        assert 0 <= req.lba_bytes < params.footprint_bytes
+        assert req.size_bytes > 0
+
+
+@given(name=workload_names, seed=seeds)
+@settings(max_examples=15, deadline=None)
+def test_read_fraction_in_tolerance(name, seed):
+    params = MSR_WORKLOADS[name]
+    trace = generate_workload(params, n_requests=2000, seed=seed)
+    assert abs(trace.read_fraction - params.read_fraction) < 0.08
+
+
+@given(name=workload_names, seed=seeds, scale=st.sampled_from([2.0, 10.0]))
+@settings(max_examples=15, deadline=None)
+def test_rate_scale_preserves_everything_but_time(name, seed, scale):
+    params = MSR_WORKLOADS[name]
+    base = generate_workload(params, n_requests=100, seed=seed)
+    fast = generate_workload(params, n_requests=100, seed=seed,
+                             rate_scale=scale)
+    assert [r.lba_bytes for r in base] == [r.lba_bytes for r in fast]
+    assert [r.op for r in base] == [r.op for r in fast]
+    assert fast.duration_s < base.duration_s

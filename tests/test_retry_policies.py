@@ -1,0 +1,186 @@
+"""Baseline read policies: retry table, tracking, layer similarity, oracle."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.capability import CapabilityEcc
+from repro.retry import (
+    CurrentFlashPolicy,
+    LayerSimilarityPolicy,
+    OraclePolicy,
+    RetryTable,
+    TrackingPolicy,
+)
+
+
+@pytest.fixture()
+def ecc(tiny_tlc):
+    return CapabilityEcc.for_spec(tiny_tlc)
+
+
+class TestRetryTable:
+    def test_vendor_default_shape(self, tiny_tlc):
+        table = RetryTable.vendor_default(tiny_tlc)
+        assert table.entries.shape == (12, tiny_tlc.n_voltages)
+
+    def test_entries_grow_in_magnitude(self, tiny_tlc):
+        table = RetryTable.vendor_default(tiny_tlc)
+        norms = np.abs(table.entries).sum(axis=1)
+        assert (np.diff(norms) > 0).all()
+
+    def test_programmed_boundaries_move_down(self, tiny_tlc):
+        table = RetryTable.vendor_default(tiny_tlc)
+        # V2..V7 separate programmed states, which leak downward
+        assert (table.entries[:, 1:] <= 0).all()
+
+    def test_v1_correction_smaller_than_v2(self, tiny_tlc):
+        # the erased state creeps up, partially cancelling V1's correction
+        table = RetryTable.vendor_default(tiny_tlc)
+        assert abs(table.entries[-1, 0]) < abs(table.entries[-1, 1])
+
+    def test_len_and_entry(self, tiny_tlc):
+        table = RetryTable.vendor_default(tiny_tlc, n_entries=5)
+        assert len(table) == 5
+        assert table.entry(0).shape == (tiny_tlc.n_voltages,)
+
+
+class TestCurrentFlashPolicy:
+    def test_fresh_read_no_retry(self, tlc_chip, ecc):
+        policy = CurrentFlashPolicy(ecc, tlc_chip.spec)
+        outcome = policy.read(tlc_chip.wordline(0, 0), "MSB")
+        assert outcome.success and outcome.retries == 0
+
+    def test_aged_read_walks_table(self, aged_tlc_chip, ecc):
+        policy = CurrentFlashPolicy(ecc, aged_tlc_chip.spec)
+        outcomes = [
+            policy.read(aged_tlc_chip.wordline(0, w), "MSB") for w in range(6)
+        ]
+        assert any(o.retries >= 2 for o in outcomes)
+
+    def test_never_exceeds_max_retries(self, aged_tlc_chip):
+        impossible = CapabilityEcc(capability_rber=1e-9, frame_bits=1024)
+        policy = CurrentFlashPolicy(impossible, aged_tlc_chip.spec, max_retries=3)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 0), "MSB")
+        assert outcome.retries <= 3 and not outcome.success
+
+    def test_attempts_recorded(self, aged_tlc_chip, ecc):
+        policy = CurrentFlashPolicy(ecc, aged_tlc_chip.spec)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 1), "MSB")
+        assert len(outcome.attempts) == outcome.retries + 1
+        assert outcome.initial_rber >= outcome.final_rber * 0.5
+
+
+class TestOraclePolicy:
+    def test_succeeds_on_aged_block(self, aged_tlc_chip, ecc):
+        policy = OraclePolicy(ecc)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 1), "MSB")
+        assert outcome.success
+        assert outcome.retries <= 1
+
+    def test_skip_default(self, aged_tlc_chip, ecc):
+        policy = OraclePolicy(ecc, skip_default=True)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 1), "MSB")
+        assert outcome.success and outcome.retries == 0
+
+    def test_oracle_beats_default_rber(self, aged_tlc_chip, ecc):
+        policy = OraclePolicy(ecc)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 1), "MSB")
+        if outcome.retries:
+            assert outcome.final_rber < outcome.initial_rber
+
+
+class TestTrackingPolicy:
+    def test_tracked_offsets_cached_per_stress(self, aged_tlc_chip, ecc):
+        policy = TrackingPolicy(ecc, aged_tlc_chip)
+        a = policy.tracked_offsets(0)
+        b = policy.tracked_offsets(0)
+        assert a is b
+
+    def test_tracked_offsets_follow_stress(self, tlc_chip, ecc, aged_stress):
+        policy = TrackingPolicy(ecc, tlc_chip)
+        fresh = policy.tracked_offsets(0).copy()
+        tlc_chip.set_block_stress(0, aged_stress)
+        aged = policy.tracked_offsets(0)
+        assert np.abs(aged).sum() > np.abs(fresh).sum()
+
+    def test_helps_on_aged_block(self, aged_tlc_chip, ecc):
+        policy = TrackingPolicy(ecc, aged_tlc_chip)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 3), "MSB")
+        assert outcome.success
+        # tracked voltages usually land within a couple of retries
+        assert outcome.retries <= 4
+
+
+class TestLayerSimilarityPolicy:
+    def test_per_layer_tracking(self, aged_tlc_chip, ecc):
+        policy = LayerSimilarityPolicy(ecc, aged_tlc_chip)
+        a = policy.tracked_offsets(0, 0)
+        b = policy.tracked_offsets(0, 1)
+        assert not np.array_equal(a, b)
+
+    def test_reads_succeed(self, aged_tlc_chip, ecc):
+        policy = LayerSimilarityPolicy(ecc, aged_tlc_chip)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 1), "MSB")
+        assert outcome.success
+
+    def test_layer_tracking_at_least_as_good_as_block(
+        self, aged_tlc_chip, ecc
+    ):
+        block_policy = TrackingPolicy(ecc, aged_tlc_chip)
+        layer_policy = LayerSimilarityPolicy(ecc, aged_tlc_chip)
+        block_retries = layer_retries = 0
+        for w in range(6):
+            block_retries += block_policy.read(
+                aged_tlc_chip.wordline(0, w), "MSB"
+            ).retries
+            layer_retries += layer_policy.read(
+                aged_tlc_chip.wordline(0, w), "MSB"
+            ).retries
+        assert layer_retries <= block_retries + 2
+
+
+class TestSoftRescue:
+    def test_rescues_marginal_read(self, aged_stress):
+        """A page beyond hard capability but within soft3 decodes via the
+        soft fallback instead of failing."""
+        from repro.ecc.capability import CapabilityEcc
+        from repro.flash.optimal import optimal_offsets
+        from repro.flash.spec import TLC_SPEC
+        from repro.flash.wordline import Wordline
+
+        # a full-size wordline keeps error counts large enough that the
+        # hard/soft capability margins dominate the counting noise
+        spec = TLC_SPEC.scaled(cells_per_wordline=65536, wordlines_per_layer=4)
+        wl = Wordline(spec, chip_seed=1, block=0, index=8, stress=aged_stress)
+        # first pass: find the best RBER the vendor ladder can reach, then
+        # pin the hard capability just below it (every attempt fails) with
+        # soft3 (x1.65) comfortably above
+        probe = CurrentFlashPolicy(
+            CapabilityEcc(capability_rber=1e-9, frame_bits=wl.n_data_cells),
+            spec,
+        )
+        ladder_best = min(a.rber for a in probe.read(wl, "MSB").attempts)
+        ecc = CapabilityEcc(
+            capability_rber=ladder_best / 1.25, frame_bits=wl.n_data_cells
+        )
+        hard = CurrentFlashPolicy(ecc, spec, soft_fallback=False)
+        soft = CurrentFlashPolicy(ecc, spec, soft_fallback=True)
+        hard_outcome = hard.read(wl, "MSB")
+        soft_outcome = soft.read(wl, "MSB")
+        assert not hard_outcome.success
+        assert soft_outcome.success
+        assert soft_outcome.soft_decoded in ("soft2", "soft3")
+        # the soft decode is charged extra sensing passes
+        assert (
+            soft_outcome.total_voltage_senses
+            > hard_outcome.total_voltage_senses
+        )
+
+    def test_soft_rescue_noop_on_success(self, aged_tlc_chip):
+        from repro.ecc.capability import CapabilityEcc
+
+        ecc = CapabilityEcc.for_spec(aged_tlc_chip.spec)
+        policy = CurrentFlashPolicy(ecc, aged_tlc_chip.spec, soft_fallback=True)
+        outcome = policy.read(aged_tlc_chip.wordline(0, 2), "MSB")
+        if outcome.success:
+            assert outcome.soft_decoded is None

@@ -1,0 +1,53 @@
+"""Deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2.5) == derive_seed(1, "a", 2.5)
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {
+            derive_seed(1, "a"),
+            derive_seed(1, "b"),
+            derive_seed(2, "a"),
+            derive_seed("1", "a"),
+            derive_seed((1, "a")),
+        }
+        assert len(seeds) == 5
+
+    def test_numpy_integer_keys_match_python_ints(self):
+        assert derive_seed(np.int64(5), "x") == derive_seed(5, "x")
+
+    def test_numpy_float_keys_match_python_floats(self):
+        assert derive_seed(np.float64(2.5)) == derive_seed(2.5)
+
+    def test_nested_tuple_keys(self):
+        assert derive_seed((1, (2, "x"))) == derive_seed((1, (2, "x")))
+        assert derive_seed((1, (2, "x"))) != derive_seed((1, 2, "x"))
+
+    def test_bytes_and_str_do_not_collide(self):
+        assert derive_seed(b"abc") != derive_seed("abc")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            derive_seed(object())
+
+    def test_seed_is_64_bit(self):
+        assert 0 <= derive_seed("anything") < 2**64
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(3, "stream").standard_normal(8)
+        b = derive_rng(3, "stream").standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_different_stream(self):
+        a = derive_rng(3, "stream").standard_normal(8)
+        b = derive_rng(4, "stream").standard_normal(8)
+        assert not np.array_equal(a, b)

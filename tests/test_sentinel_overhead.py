@@ -1,0 +1,39 @@
+"""Sentinel space-overhead accounting (Section III-D)."""
+
+import pytest
+
+from repro.core.sentinel import sentinel_overhead, worst_case_parity_donation
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+
+
+class TestOverhead:
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_paper_headline_numbers(self, spec):
+        """0.2% of the wordline, fitting in the 192 free OOB bytes."""
+        report = sentinel_overhead(spec, 0.002)
+        assert report.fits_in_free_oob
+        assert report.parity_donated_fraction == 0.0
+        assert report.cells == round(spec.cells_per_wordline * 0.002)
+        # ~297 cells = ~37 bytes on the paper's 18592-byte page
+        assert report.bytes_needed < spec.oob_free_bytes
+
+    def test_large_reservation_displaces_parity(self):
+        report = sentinel_overhead(TLC_SPEC, 0.02)
+        assert not report.fits_in_free_oob
+        assert report.parity_donated_fraction > 0.0
+
+    def test_describe_mentions_status(self):
+        ok = sentinel_overhead(TLC_SPEC, 0.002)
+        assert "fits" in ok.describe()
+        bad = sentinel_overhead(TLC_SPEC, 0.02)
+        assert "parity" in bad.describe()
+
+    def test_worst_case_donation_matches_paper_scale(self):
+        # 297 sentinel cells / 16128 parity bits ~ 1.8%
+        donated = worst_case_parity_donation(QLC_SPEC, 0.002)
+        assert 0.01 < donated < 0.03
+
+    def test_donation_scales_with_ratio(self):
+        small = worst_case_parity_donation(TLC_SPEC, 0.001)
+        large = worst_case_parity_donation(TLC_SPEC, 0.004)
+        assert large > 2 * small

@@ -1,0 +1,116 @@
+"""Chip specification geometry and scaling."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.flash.spec import FlashSpec, QLC_SPEC, TLC_SPEC
+
+
+class TestPaperNumbers:
+    """The paper's explicitly stated layout (Section III-D)."""
+
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_page_layout(self, spec):
+        assert spec.page_bytes == 18592
+        assert spec.user_bytes == 16384
+        assert spec.oob_bytes == 2208
+        assert spec.ecc_parity_bytes == 2016
+        assert spec.oob_free_bytes == 192
+
+    def test_state_pitch(self):
+        assert TLC_SPEC.state_pitch == 256
+        assert QLC_SPEC.state_pitch == 128
+
+    def test_sentinel_voltages(self):
+        assert TLC_SPEC.sentinel_voltage == 4
+        assert QLC_SPEC.sentinel_voltage == 8
+
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_64_layers(self, spec):
+        assert spec.layers == 64
+
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_oob_fraction_over_ten_percent(self, spec):
+        # "the OOB area takes up more than 10% of total wordline on average"
+        assert spec.oob_bytes / spec.page_bytes > 0.10
+
+    @pytest.mark.parametrize("spec", [TLC_SPEC, QLC_SPEC])
+    def test_002_sentinels_fit_free_oob(self, spec):
+        # 192 free bytes = 1% of the page, "much greater than 0.2%"
+        assert spec.sentinel_fits_in_free_oob(0.002)
+        assert not spec.sentinel_fits_in_free_oob(0.02)
+
+
+class TestGeometry:
+    def test_states_and_voltages(self):
+        assert TLC_SPEC.n_states == 8 and TLC_SPEC.n_voltages == 7
+        assert QLC_SPEC.n_states == 16 and QLC_SPEC.n_voltages == 15
+
+    def test_wordlines_per_block(self):
+        assert TLC_SPEC.wordlines_per_block == 64 * 12
+
+    def test_layer_of_wordline(self):
+        assert TLC_SPEC.layer_of_wordline(0) == 0
+        assert TLC_SPEC.layer_of_wordline(12) == 1
+        assert TLC_SPEC.layer_of_wordline(TLC_SPEC.wordlines_per_block - 1) == 63
+        with pytest.raises(IndexError):
+            TLC_SPEC.layer_of_wordline(TLC_SPEC.wordlines_per_block)
+
+    def test_default_voltages_between_centers(self):
+        for spec in (TLC_SPEC, QLC_SPEC):
+            c = spec.state_centers
+            v = spec.default_read_voltages
+            assert len(v) == spec.n_voltages
+            assert ((v > c[:-1]) & (v < c[1:])).all()
+
+    def test_read_voltage_offsets(self):
+        base = TLC_SPEC.read_voltage(4)
+        assert TLC_SPEC.read_voltage(4, -10) == base - 10
+        with pytest.raises(IndexError):
+            TLC_SPEC.read_voltage(0)
+
+    def test_erased_center_below_zero(self):
+        assert TLC_SPEC.state_centers[0] < 0
+
+
+class TestValidation:
+    def test_page_layout_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TLC_SPEC, page_bytes=10000)
+
+    def test_parity_beyond_oob_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TLC_SPEC, ecc_parity_bytes=4000)
+
+    def test_bad_sentinel_voltage_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TLC_SPEC, sentinel_voltage=9)
+
+    def test_sentinel_cells_bounds(self):
+        assert TLC_SPEC.sentinel_cells(0.002) == round(148736 * 0.002)
+        with pytest.raises(ValueError):
+            TLC_SPEC.sentinel_cells(0.0)
+        with pytest.raises(ValueError):
+            TLC_SPEC.sentinel_cells(1.0)
+
+
+class TestScaling:
+    def test_scaled_preserves_ratios(self):
+        small = QLC_SPEC.scaled(cells_per_wordline=65536)
+        assert small.cells_per_wordline == 65536
+        orig_ratio = QLC_SPEC.oob_bytes / QLC_SPEC.page_bytes
+        new_ratio = small.oob_bytes / small.page_bytes
+        assert abs(orig_ratio - new_ratio) < 0.01
+
+    def test_scaled_renames(self):
+        assert QLC_SPEC.scaled(cells_per_wordline=1024).name.endswith("-sim")
+
+    def test_scaled_layers_and_wordlines(self):
+        s = TLC_SPEC.scaled(wordlines_per_layer=2, layers=16)
+        assert s.wordlines_per_block == 32
+
+    def test_scaled_keeps_reliability(self):
+        s = TLC_SPEC.scaled(cells_per_wordline=4096)
+        assert s.reliability == TLC_SPEC.reliability

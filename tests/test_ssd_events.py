@@ -1,0 +1,77 @@
+"""Event queue and resource scheduling."""
+
+import pytest
+
+from repro.ssd.events import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda: log.append("c"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(2.0, lambda: log.append("b"))
+        q.run()
+        assert log == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_for_simultaneous_events(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(1.0, lambda: log.append(2))
+        q.run()
+        assert log == [1, 2]
+
+    def test_schedule_after(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: q.schedule_after(0.5, lambda: fired.append(q.now)))
+        q.run()
+        assert fired == [1.5]
+
+    def test_cannot_schedule_into_past(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda: None)
+
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule(t, lambda t=t: log.append(t))
+        q.run(until=2.0)
+        assert log == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False
+
+
+class TestResource:
+    def test_idle_resource_starts_immediately(self):
+        r = Resource("die")
+        start, end = r.acquire(10.0, 5.0)
+        assert (start, end) == (10.0, 15.0)
+
+    def test_busy_resource_queues(self):
+        r = Resource("die")
+        r.acquire(0.0, 10.0)
+        start, end = r.acquire(2.0, 5.0)
+        assert (start, end) == (10.0, 15.0)
+
+    def test_gap_respected(self):
+        r = Resource("die")
+        r.acquire(0.0, 2.0)
+        start, _ = r.acquire(100.0, 1.0)
+        assert start == 100.0
+
+    def test_utilization(self):
+        r = Resource("die")
+        r.acquire(0.0, 25.0)
+        r.acquire(50.0, 25.0)
+        assert r.utilization(100.0) == pytest.approx(0.5)
+        assert r.utilization(0.0) == 0.0

@@ -1,0 +1,54 @@
+"""NAND timing model."""
+
+import pytest
+
+from repro.retry.policy import ReadOutcome
+from repro.ssd.timing import NandTiming
+
+
+class TestSense:
+    def test_proportional_to_voltages(self):
+        t = NandTiming(t_sense_base_us=10, t_sense_per_voltage_us=20)
+        assert t.sense_us(1) == 30
+        assert t.sense_us(4) == 90
+        assert t.sense_us(8) == 170
+
+    def test_rejects_zero_voltages(self):
+        with pytest.raises(ValueError):
+            NandTiming().sense_us(0)
+
+    def test_msb_read_slower_than_lsb(self):
+        t = NandTiming()
+        assert t.sense_us(8) > t.sense_us(4) > t.sense_us(1)
+
+
+class TestReadPricing:
+    def test_retries_cost_full_senses(self):
+        t = NandTiming()
+        clean = t.read_us(4, retries=0)
+        retried = t.read_us(4, retries=3)
+        assert retried == pytest.approx(clean * 4)
+
+    def test_extra_single_reads_cheaper_than_retries(self):
+        """The paper's core latency argument (Section III-B)."""
+        t = NandTiming()
+        one_retry = t.read_us(8, retries=1) - t.read_us(8)
+        one_extra = t.read_us(8, extra_single_reads=1) - t.read_us(8)
+        assert one_extra < 0.5 * one_retry
+
+    def test_outcome_pricing_matches_manual(self):
+        t = NandTiming()
+        outcome = ReadOutcome(page=2, page_voltages=4)
+        outcome.retries = 2
+        outcome.extra_single_reads = 1
+        assert t.read_outcome_us(outcome) == pytest.approx(
+            t.read_us(4, retries=2, extra_single_reads=1)
+        )
+
+    def test_sentinel_flow_beats_ladder(self):
+        """1 retry + 1 auxiliary read beats 6 retries at any page size."""
+        t = NandTiming()
+        for voltages in (1, 2, 4, 8):
+            sentinel = t.read_us(voltages, retries=1, extra_single_reads=2)
+            ladder = t.read_us(voltages, retries=6)
+            assert sentinel < ladder

@@ -1,0 +1,170 @@
+"""Trace model, MSR parsing, and the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.traces.msr import load_msr_trace, parse_msr_csv
+from repro.traces.synthetic import (
+    MSR_WORKLOADS,
+    WorkloadParams,
+    generate_all_workloads,
+    generate_workload,
+)
+from repro.traces.trace import Trace, TraceRequest
+
+
+class TestTraceRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, "X", 0, 4096)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, "R", 0, 0)
+        with pytest.raises(ValueError):
+            TraceRequest(0.0, "R", -1, 4096)
+
+    def test_is_read(self):
+        assert TraceRequest(0.0, "R", 0, 512).is_read
+        assert not TraceRequest(0.0, "W", 0, 512).is_read
+
+
+class TestTrace:
+    def test_sorts_by_time(self):
+        trace = Trace(
+            "t",
+            [TraceRequest(2.0, "R", 0, 512), TraceRequest(1.0, "W", 0, 512)],
+        )
+        assert trace.requests[0].time_s == 1.0
+
+    def test_stats(self):
+        trace = Trace(
+            "t",
+            [
+                TraceRequest(0.0, "R", 0, 1024),
+                TraceRequest(1.0, "W", 0, 2048),
+                TraceRequest(2.0, "R", 0, 1024),
+            ],
+        )
+        assert trace.duration_s == 2.0
+        assert trace.read_fraction == pytest.approx(2 / 3)
+        assert trace.total_read_bytes == 2048
+        assert trace.total_write_bytes == 2048
+
+    def test_head(self):
+        trace = Trace("t", [TraceRequest(float(i), "R", 0, 512) for i in range(5)])
+        assert len(trace.head(2)) == 2
+
+    def test_describe(self):
+        trace = Trace("t", [TraceRequest(0.0, "R", 0, 512)])
+        assert "t:" in trace.describe()
+
+
+class TestMsrParsing:
+    SAMPLE = [
+        "128166372003061629,hm,0,Read,383496192,32768,413",
+        "128166372016382155,hm,0,Write,310983680,20480,1081",
+        "128166372026382245,hm,0,Read,310983680,4096,100",
+    ]
+
+    def test_parses_fields(self):
+        trace = parse_msr_csv(self.SAMPLE, name="hm_0")
+        assert len(trace) == 3
+        first = trace.requests[0]
+        assert first.time_s == 0.0
+        assert first.op == "R"
+        assert first.lba_bytes == 383496192
+        assert first.size_bytes == 32768
+
+    def test_timestamps_rebased_to_seconds(self):
+        trace = parse_msr_csv(self.SAMPLE)
+        # 13321 ms between first two records (ticks are 100ns)
+        assert trace.requests[1].time_s == pytest.approx(1.3320526, abs=1e-3)
+
+    def test_skips_blank_and_comment_lines(self):
+        lines = ["", "# header"] + self.SAMPLE
+        assert len(parse_msr_csv(lines)) == 3
+
+    def test_max_requests(self):
+        assert len(parse_msr_csv(self.SAMPLE, max_requests=2)) == 2
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_msr_csv(["1,2,3"])
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            parse_msr_csv(["128166372003061629,hm,0,Flush,0,512,1"])
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "hm_0.csv"
+        path.write_text("\n".join(self.SAMPLE))
+        trace = load_msr_trace(path)
+        assert trace.name == "hm_0"
+        assert len(trace) == 3
+
+
+class TestSyntheticWorkloads:
+    def test_all_eight_paper_workloads_present(self):
+        assert set(MSR_WORKLOADS) == {
+            "hm_0", "mds_0", "prn_0", "proj_0",
+            "rsrch_0", "src2_0", "stg_0", "usr_0",
+        }
+
+    def test_read_fraction_matches_params(self):
+        for name, params in MSR_WORKLOADS.items():
+            trace = generate_workload(params, n_requests=4000, seed=1)
+            assert trace.read_fraction == pytest.approx(
+                params.read_fraction, abs=0.05
+            ), name
+
+    def test_reproducible(self):
+        params = MSR_WORKLOADS["hm_0"]
+        a = generate_workload(params, n_requests=100, seed=5)
+        b = generate_workload(params, n_requests=100, seed=5)
+        assert [(r.time_s, r.lba_bytes) for r in a] == [
+            (r.time_s, r.lba_bytes) for r in b
+        ]
+
+    def test_seed_changes_trace(self):
+        params = MSR_WORKLOADS["hm_0"]
+        a = generate_workload(params, n_requests=100, seed=5)
+        b = generate_workload(params, n_requests=100, seed=6)
+        assert [r.lba_bytes for r in a] != [r.lba_bytes for r in b]
+
+    def test_rate_scale_compresses_time(self):
+        params = MSR_WORKLOADS["hm_0"]
+        slow = generate_workload(params, n_requests=2000, seed=1)
+        fast = generate_workload(params, n_requests=2000, seed=1, rate_scale=10)
+        assert fast.duration_s < slow.duration_s / 5
+
+    def test_footprint_respected(self):
+        params = MSR_WORKLOADS["rsrch_0"]
+        trace = generate_workload(params, n_requests=2000, seed=2)
+        max_lba = max(r.lba_bytes for r in trace)
+        assert max_lba < params.footprint_bytes
+
+    def test_skew_produces_hot_pages(self):
+        params = MSR_WORKLOADS["rsrch_0"]  # highest zipf_theta
+        trace = generate_workload(params, n_requests=5000, seed=3)
+        pages = np.array([r.lba_bytes // 4096 for r in trace])
+        _, counts = np.unique(pages, return_counts=True)
+        # a skewed workload revisits pages far more than a uniform one would
+        assert counts.max() >= 5
+
+    def test_sizes_from_mixture(self):
+        params = MSR_WORKLOADS["hm_0"]
+        trace = generate_workload(params, n_requests=1000, seed=4)
+        sizes = {r.size_bytes for r in trace}
+        assert sizes <= {k * 1024 for k in params.size_choices_kb}
+
+    def test_generate_all(self):
+        traces = generate_all_workloads(n_requests=50)
+        assert len(traces) == 8
+        assert all(len(t) == 50 for t in traces.values())
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadParams("x", 1.5, 10, 1 << 30, 0.5, (4,), (1.0,), 0.0)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", 0.5, 10, 1 << 30, 1.5, (4,), (1.0,), 0.0)
+        with pytest.raises(ValueError):
+            WorkloadParams("x", 0.5, 10, 1 << 30, 0.5, (4, 8), (0.7, 0.2), 0.0)

@@ -1,0 +1,89 @@
+"""Process variation: determinism, bounds, anomaly generation."""
+
+import numpy as np
+import pytest
+
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+from repro.flash.variation import BlockVariation, SpatialAnomaly
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return TLC_SPEC.scaled(cells_per_wordline=4096, wordlines_per_layer=2, layers=16)
+
+
+class TestBlockVariation:
+    def test_deterministic(self, spec):
+        a = BlockVariation(spec, chip_seed=1, block=0)
+        b = BlockVariation(spec, chip_seed=1, block=0)
+        np.testing.assert_array_equal(a.layer_shift_mult, b.layer_shift_mult)
+
+    def test_blocks_differ(self, spec):
+        a = BlockVariation(spec, chip_seed=1, block=0)
+        b = BlockVariation(spec, chip_seed=1, block=1)
+        assert not np.array_equal(a.layer_shift_mult, b.layer_shift_mult)
+
+    def test_chips_differ(self, spec):
+        a = BlockVariation(spec, chip_seed=1, block=0)
+        b = BlockVariation(spec, chip_seed=2, block=0)
+        assert not np.array_equal(a.layer_shift_mult, b.layer_shift_mult)
+
+    def test_layer_multipliers_bounded(self, spec):
+        var = BlockVariation(spec, chip_seed=3, block=0)
+        amp = spec.reliability.layer_shift_amp
+        assert (var.layer_shift_mult >= 1 - amp - 1e-9).all()
+        assert (var.layer_shift_mult <= 1 + amp + 1e-9).all()
+
+    def test_layers_actually_vary(self, spec):
+        var = BlockVariation(spec, chip_seed=3, block=0)
+        assert var.layer_shift_mult.std() > 0.02
+
+
+class TestWordlineModifiers:
+    def test_deterministic(self, spec):
+        var = BlockVariation(spec, chip_seed=1, block=0)
+        a = var.wordline_modifiers(5)
+        b = var.wordline_modifiers(5)
+        assert a.shift_mult == b.shift_mult
+        np.testing.assert_array_equal(a.state_jitter, b.state_jitter)
+
+    def test_same_layer_wordlines_close(self, spec):
+        var = BlockVariation(spec, chip_seed=1, block=0)
+        mults = [var.wordline_modifiers(w).shift_mult for w in range(2)]
+        layer = var.layer_shift_mult[0]
+        for m in mults:
+            assert abs(m - layer) < 4 * spec.reliability.wordline_shift_sigma * layer
+
+    def test_positive_multipliers(self, spec):
+        var = BlockVariation(spec, chip_seed=9, block=2)
+        for w in range(spec.wordlines_per_block):
+            mods = var.wordline_modifiers(w)
+            assert mods.shift_mult > 0
+            assert mods.sigma_mult > 0
+
+    def test_anomaly_rate_near_configured(self, spec):
+        var = BlockVariation(spec, chip_seed=4, block=0)
+        n = spec.wordlines_per_block
+        hits = sum(
+            var.wordline_modifiers(w).anomaly is not None for w in range(n)
+        )
+        p = spec.reliability.nonuniform_prob
+        # loose binomial bound (n is small)
+        assert hits <= n * p * 4 + 3
+
+    def test_state_jitter_shape(self, spec):
+        var = BlockVariation(spec, chip_seed=1, block=0)
+        assert var.wordline_modifiers(0).state_jitter.shape == (spec.n_states,)
+
+
+class TestSpatialAnomaly:
+    def test_mask_covers_segment(self):
+        anomaly = SpatialAnomaly(start_frac=0.25, end_frac=0.5, amp_steps=10)
+        mask = anomaly.mask(1000)
+        assert mask[250] and mask[499]
+        assert not mask[100] and not mask[600]
+        assert mask.sum() == 250
+
+    def test_empty_segment(self):
+        anomaly = SpatialAnomaly(start_frac=0.5, end_frac=0.5, amp_steps=10)
+        assert anomaly.mask(100).sum() == 0
