@@ -1,12 +1,15 @@
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint bench examples figures clean
 
 install:
 	pip install -e .[test]
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

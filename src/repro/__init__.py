@@ -29,6 +29,10 @@ The package is organised as follows:
     workloads used in the paper.
 ``repro.exp``
     One driver per paper table/figure; the benchmark suite calls these.
+``repro.obs``
+    Observability: metrics registry, structured event tracer with JSONL
+    export, and logging — disabled by default, no-op on the hot path
+    (see ``docs/OBSERVABILITY.md``).
 """
 
 from repro.flash.spec import FlashSpec, TLC_SPEC, QLC_SPEC

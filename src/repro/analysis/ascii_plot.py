@@ -65,6 +65,29 @@ def line_plot(
     return "\n".join(lines)
 
 
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 48,
+    title: Optional[str] = None,
+) -> str:
+    """Render a horizontal bar chart (e.g. the retry-count histogram)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if len(labels) == 0:
+        return title or ""
+    vals = np.asarray(values, dtype=float)
+    peak = float(vals.max()) if float(vals.max()) > 0 else 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for lab, v in zip(labels, vals):
+        bar = "#" * int(round(v / peak * width))
+        lines.append(f"{str(lab):>{label_w}} |{bar} {v:g}")
+    return "\n".join(lines)
+
+
 def scatter_plot(
     x: Sequence[float],
     y: Sequence[float],

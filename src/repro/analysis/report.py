@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro.obs.log import echo
+
 
 def _stringify(cell) -> str:
     if isinstance(cell, float):
@@ -46,4 +48,10 @@ def print_table(
     headers: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
 ) -> None:
-    print(format_table(rows, headers=headers, title=title))
+    """Render a table to the console.
+
+    Routed through :func:`repro.obs.log.echo`: when the CLI has configured
+    logging this honors ``--quiet``; standalone callers (examples,
+    benchmarks) still get a plain ``print``.
+    """
+    echo(format_table(rows, headers=headers, title=title))

@@ -9,6 +9,12 @@ Commands
 ``simulate``      trace-driven SSD comparison (synthetic or real MSR CSV).
 ``overhead``      sentinel space-overhead report for a chip/ratio.
 ``figure``        run one paper-figure driver and print its rows.
+``stats``         summarize an exported observability JSONL trace.
+
+Global flags: ``-v`` raises verbosity, ``-q`` silences informational
+output; ``simulate``/``read`` accept ``--obs-trace``/``--obs-prom`` to
+capture and export the run's events and metrics (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+from repro.obs.log import echo, setup_logging
 
 
 def _spec(kind: str, cells: int, wordlines_per_layer: int = 4):
@@ -25,6 +32,54 @@ def _spec(kind: str, cells: int, wordlines_per_layer: int = 4):
 
     return sim_spec(kind, cells_per_wordline=cells,
                     wordlines_per_layer=wordlines_per_layer)
+
+
+def _maybe_enable_obs(args: argparse.Namespace) -> bool:
+    """Turn on observability when an export flag asked for it."""
+    trace_path = getattr(args, "obs_trace", None)
+    prom_path = getattr(args, "obs_prom", None)
+    if not trace_path and not prom_path:
+        return False
+    from repro import obs
+
+    obs.enable(metrics=True, tracing=bool(trace_path))
+    return True
+
+
+def _export_obs(args: argparse.Namespace) -> int:
+    """Write the JSONL trace / Prometheus text the flags requested.
+
+    Returns 0 on success, 1 if an export path was unwritable (the run's
+    results have already been printed by then, so this must not raise).
+    """
+    from repro.obs import OBS
+
+    trace_path = getattr(args, "obs_trace", None)
+    prom_path = getattr(args, "obs_prom", None)
+    status = 0
+    if trace_path:
+        try:
+            n = OBS.tracer.export_jsonl(trace_path)
+        except OSError as exc:
+            print(f"obs: cannot write trace to {trace_path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            status = 1
+        else:
+            dropped = OBS.tracer.dropped
+            suffix = (f" ({dropped} oldest dropped by ring bound)"
+                      if dropped else "")
+            echo(f"obs: wrote {n} events -> {trace_path}{suffix}")
+    if prom_path:
+        try:
+            with open(prom_path, "w", encoding="utf-8") as fh:
+                fh.write(OBS.metrics.render_prometheus())
+        except OSError as exc:
+            print(f"obs: cannot write metrics to {prom_path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            status = 1
+        else:
+            echo(f"obs: wrote metrics exposition -> {prom_path}")
+    return status
 
 
 # ---------------------------------------------------------------------------
@@ -39,7 +94,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
     spec = _spec(args.kind, args.cells)
     chip = FlashChip(spec, seed=args.seed, sentinel_ratio=args.ratio)
-    print(f"characterizing {spec.name} (seed={args.seed}) ...")
+    echo(f"characterizing {spec.name} (seed={args.seed}) ...")
     result = characterize_chip(
         chip,
         blocks=(0,),
@@ -48,7 +103,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     )
     result.model.save(args.out)
     resid = np.abs(result.inference_residuals()).mean()
-    print(
+    echo(
         f"fitted on {len(result.d_rates)} samples; "
         f"residual {resid:.2f} steps; model -> {args.out}"
     )
@@ -82,6 +137,7 @@ def cmd_read(args: argparse.Namespace) -> int:
         from repro.exp.common import trained_model
 
         model = trained_model(args.kind)
+    _maybe_enable_obs(args)
     wl = chip.wordline(args.block, args.wordline)
     timing = NandTiming()
     rows = []
@@ -110,7 +166,7 @@ def cmd_read(args: argparse.Namespace) -> int:
             f"{args.temperature:.0f} degC)"
         ),
     )
-    return 0
+    return _export_obs(args)
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -118,6 +174,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.exp.fig14 import run_fig14
     from repro.traces.msr import load_msr_trace
 
+    _maybe_enable_obs(args)
     traces = None
     workloads: Optional[List[str]] = args.workloads or None
     if args.trace:
@@ -136,6 +193,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     rows = [(n, f"{r:.1%}") for n, r in sorted(result.reductions.items())]
     rows.append(("average", f"{result.average_reduction:.1%}"))
     print_table(rows, headers=["workload", "read-latency reduction"])
+    return _export_obs(args)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.stats import render, stats_from_jsonl
+
+    try:
+        stats = stats_from_jsonl(args.trace)
+    except OSError as exc:
+        print(f"repro stats: cannot read {args.trace}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"repro stats: {args.trace} is not a JSONL trace: {exc}",
+              file=sys.stderr)
+        return 1
+    echo(render(stats, width=args.width))
     return 0
 
 
@@ -145,8 +221,8 @@ def cmd_overhead(args: argparse.Namespace) -> int:
 
     spec = {"tlc": TLC_SPEC, "qlc": QLC_SPEC, "mlc": MLC_SPEC}[args.kind]
     report = sentinel_overhead(spec, args.ratio)
-    print(f"{spec.name}: {report.describe()}")
-    print(
+    echo(f"{spec.name}: {report.describe()}")
+    echo(
         f"  page {spec.page_bytes} B = user {spec.user_bytes} B + OOB "
         f"{spec.oob_bytes} B (parity {spec.ecc_parity_bytes} B, free "
         f"{spec.oob_free_bytes} B)"
@@ -201,6 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Sentinel-assisted fast read over 3D flash (MICRO'20 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only show warnings and errors",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
@@ -208,6 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cells", type=int, default=65536,
                        help="cells per simulated wordline")
         p.add_argument("--seed", type=int, default=1)
+
+    def add_obs(p):
+        p.add_argument(
+            "--obs-trace", metavar="PATH",
+            help="enable event tracing and export a JSONL trace here "
+                 "(replay with `repro stats`)",
+        )
+        p.add_argument(
+            "--obs-prom", metavar="PATH",
+            help="enable metrics and write a Prometheus text exposition here",
+        )
 
     p = sub.add_parser("characterize", help="fit and save a sentinel model")
     add_common(p)
@@ -226,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pe", type=int, default=5000)
     p.add_argument("--retention-hours", type=float, default=8760.0)
     p.add_argument("--temperature", type=float, default=25.0)
+    add_obs(p)
     p.set_defaults(func=cmd_read)
 
     p = sub.add_parser("simulate", help="trace-driven SSD comparison")
@@ -234,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", nargs="*", help="MSR CSV files to replay")
     p.add_argument("--requests", type=int, default=6000)
     p.add_argument("--rate-scale", type=float, default=20.0)
+    add_obs(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("overhead", help="sentinel space-overhead report")
@@ -246,12 +343,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kind", choices=["tlc", "qlc"], default=None)
     p.set_defaults(func=cmd_figure)
 
+    p = sub.add_parser(
+        "stats", help="summarize an exported obs JSONL trace"
+    )
+    p.add_argument("trace", help="JSONL trace path (from --obs-trace)")
+    p.add_argument("--width", type=int, default=48,
+                   help="bar-chart width in characters")
+    p.set_defaults(func=cmd_stats)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     return args.func(args)
 
 

@@ -27,6 +27,7 @@ from repro.core.calibration import CalibrationConfig, Calibrator
 from repro.core.models import SentinelModel
 from repro.ecc.capability import CapabilityEcc
 from repro.flash.wordline import Wordline
+from repro.obs import OBS
 from repro.retry.policy import ReadOutcome, ReadPolicy
 
 __all__ = ["SentinelController", "ReadOutcome"]
@@ -88,6 +89,21 @@ class SentinelController(ReadPolicy):
         sentinel_offset = float(
             np.round(self.model.infer_sentinel_offset(d_rate))
         )
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_sentinel_inferences_total",
+                    help="sentinel error-difference inferences",
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "sentinel_inference",
+                    policy=self.name,
+                    page=outcome.page,
+                    d_rate=float(d_rate),
+                    sentinel_offset=float(sentinel_offset),
+                    temperature=float(temperature),
+                )
         offsets = self.model.offsets_from_sentinel(sentinel_offset, temperature)
         if self.attempt(wordline, outcome, offsets, rng):
             return outcome
@@ -113,6 +129,9 @@ class SentinelController(ReadPolicy):
         )
         sign = float(np.sign(direction_hint)) or -1.0
         first = sign if verdict == "further" else -sign
+        # Case 1: all cells moved more than the scaled sentinels — the
+        # inferred tune fell short; Case 2: overshoot.
+        case = "case1" if verdict == "further" else "case2"
         delta = calibrator.config.delta_steps
         for k in range(1, calibrator.config.max_steps + 1):
             if outcome.retries >= self.max_retries:
@@ -121,6 +140,22 @@ class SentinelController(ReadPolicy):
             side = first if k % 2 == 1 else -first
             current = sentinel_offset + side * magnitude
             outcome.calibration_steps += 1
+            if OBS.enabled:
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_calibration_steps_total",
+                        help="state-change calibration nudges",
+                        case=case,
+                    ).inc()
+                if OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "calibration_step",
+                        policy=self.name,
+                        page=outcome.page,
+                        step=k,
+                        case=case,
+                        offset=float(current),
+                    )
             offsets = self.model.offsets_from_sentinel(current, temperature)
             if self.attempt(wordline, outcome, offsets, rng):
                 return outcome
@@ -128,6 +163,20 @@ class SentinelController(ReadPolicy):
         if self.fallback_table:
             from repro.retry.current_flash import RetryTable
 
+            if OBS.enabled:
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_fallback_table_reads_total",
+                        help="reads that exhausted calibration and fell "
+                             "back to the vendor retry table",
+                    ).inc()
+                if OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "fallback_table",
+                        policy=self.name,
+                        page=outcome.page,
+                        after_retries=outcome.retries,
+                    )
             table = RetryTable.vendor_default(spec)
             for k in range(len(table)):
                 if outcome.retries >= self.max_retries:

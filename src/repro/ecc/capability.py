@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.flash.spec import FlashSpec
 from repro.flash.wordline import ReadResult
+from repro.obs import OBS
 
 #: Capability multiplier of each sensing/decoding mode relative to hard input.
 MODE_GAIN = {"hard": 1.0, "soft2": 1.45, "soft3": 1.65}
@@ -108,7 +109,22 @@ class CapabilityEcc:
         """Whether the page decodes: every frame within capability."""
         mismatch = read.mismatch if isinstance(read, ReadResult) else read
         counts = self.frame_error_counts(np.asarray(mismatch, dtype=bool))
-        return bool((counts <= self.max_errors_per_frame()).all())
+        ok = bool((counts <= self.max_errors_per_frame()).all())
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_ecc_decodes_total",
+                    help="page decode attempts by outcome",
+                    result="ok" if ok else "fail",
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "ecc_decode",
+                    decoded=ok,
+                    frames=len(counts),
+                    max_frame_errors=int(counts.max()),
+                )
+        return ok
 
     def decode_ok_by_rate(self, rber: float) -> bool:
         """Uniform-error approximation, for analytic callers."""

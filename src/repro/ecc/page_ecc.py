@@ -24,6 +24,7 @@ import numpy as np
 from repro.ecc.bch import BchCode
 from repro.ecc.ldpc import LdpcCode
 from repro.flash.wordline import ReadResult
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -103,6 +104,7 @@ class RealPageEcc:
         n_frames = len(mask) // frame_bits
         if n_frames == 0:
             raise ValueError("page smaller than one ECC frame")
+        page_ok = True
         for f in range(n_frames):
             frame = mask[f * frame_bits : (f + 1) * frame_bits]
             if isinstance(self.code, ShortenedBch):
@@ -115,7 +117,14 @@ class RealPageEcc:
                     magnitude = np.where(frame, 0.4, 1.0)
                 ok = self.code.decode_error_pattern(frame, magnitude).success
             if not ok:
-                return False
+                page_ok = False
+                break
+        if OBS.enabled and OBS.metrics.enabled:
+            OBS.metrics.counter(
+                "repro_ecc_decodes_total",
+                help="page decode attempts by outcome",
+                result="ok" if page_ok else "fail",
+            ).inc()
         # the tail shorter than a frame is covered by the last frame's
         # spare correction budget on real devices; ignore it here
-        return True
+        return page_ok

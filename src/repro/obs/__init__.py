@@ -1,0 +1,132 @@
+"""Observability: metrics, structured tracing, and logging (``repro.obs``).
+
+The package is built around one module-level singleton, :data:`OBS`,
+holding a :class:`~repro.obs.metrics.MetricsRegistry` and an
+:class:`~repro.obs.trace.EventTracer`.  Instrumented hot paths guard on a
+single plain-bool attribute::
+
+    from repro.obs import OBS
+
+    if OBS.enabled:                       # one attribute load when off
+        if OBS.tracer.enabled:
+            OBS.tracer.emit("read_attempt", policy=..., rber=...)
+        if OBS.metrics.enabled:
+            OBS.metrics.counter("repro_read_attempts_total").inc()
+
+Everything is **off by default**: with observability disabled the
+simulation produces bit-identical results and pays one branch per
+instrumented site (see ``docs/OBSERVABILITY.md`` for the overhead
+contract).  Enable with :func:`enable` (or the CLI's ``--obs-trace`` /
+``--obs-prom`` flags), export with
+:meth:`~repro.obs.trace.EventTracer.export_jsonl` /
+:meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`, and replay
+exported traces with ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    EVENT_KINDS,
+    EventTracer,
+    TraceEvent,
+    load_jsonl,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "enable",
+    "disable",
+    "reset",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "log_buckets",
+    "EventTracer",
+    "TraceEvent",
+    "EVENT_KINDS",
+    "DEFAULT_CAPACITY",
+    "load_jsonl",
+]
+
+
+class Observability:
+    """A metrics registry and an event tracer behind one cheap flag.
+
+    ``enabled`` is a plain attribute (not a property) kept equal to
+    ``metrics.enabled or tracer.enabled`` so the disabled hot path costs
+    exactly one attribute load and one branch.
+    """
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry(enabled=False)
+        self.tracer = EventTracer(enabled=False)
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    def enable(
+        self,
+        metrics: bool = True,
+        tracing: bool = True,
+        capacity: Optional[int] = None,
+    ) -> None:
+        """Turn collection on (both halves by default).
+
+        ``capacity`` sizes the tracer's ring buffer; omitted, it returns
+        to :data:`~repro.obs.trace.DEFAULT_CAPACITY`.  A resize replaces
+        the tracer (buffered events are dropped)."""
+        self.metrics.enabled = metrics
+        cap = capacity if capacity is not None else DEFAULT_CAPACITY
+        if cap != self.tracer.capacity:
+            self.tracer = EventTracer(enabled=tracing, capacity=cap)
+        else:
+            self.tracer.enabled = tracing
+        self.enabled = self.metrics.enabled or self.tracer.enabled
+
+    def disable(self) -> None:
+        """Stop collecting; buffered data stays readable/exportable."""
+        self.metrics.enabled = False
+        self.tracer.enabled = False
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected metrics and events (keeps enabled flags)."""
+        self.metrics.reset()
+        self.tracer.clear()
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Convenience passthrough to the tracer."""
+        self.tracer.emit(kind, **fields)
+
+
+#: The process-wide observability singleton every instrumented site uses.
+OBS = Observability()
+
+
+def enable(
+    metrics: bool = True,
+    tracing: bool = True,
+    capacity: Optional[int] = None,
+) -> Observability:
+    OBS.enable(metrics=metrics, tracing=tracing, capacity=capacity)
+    return OBS
+
+
+def disable() -> None:
+    OBS.disable()
+
+
+def reset() -> None:
+    OBS.reset()

@@ -1,0 +1,78 @@
+"""Logging setup for the CLI and console output routing for the library.
+
+Two rules keep library output well-behaved:
+
+* The CLI configures the ``repro`` logger once (``setup_logging``) from
+  its ``-v``/``--quiet`` flags; INFO and below go to the *current*
+  ``sys.stdout`` (resolved at emit time, so pytest capture works),
+  warnings and errors to ``sys.stderr``.
+* Library code that renders user-facing text calls :func:`echo` instead
+  of ``print``: when logging is configured the text flows through the
+  logger (and ``--quiet`` can silence it); when it is not — examples and
+  benchmarks calling helpers directly — ``echo`` falls back to ``print``
+  so nothing silently disappears.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT = "repro"
+
+
+class _ConsoleHandler(logging.Handler):
+    """Stream handler resolving stdout/stderr at emit time."""
+
+    def emit(self, record: logging.LogRecord) -> None:  # pragma: no cover
+        try:
+            msg = self.format(record)
+            stream = (
+                sys.stderr if record.levelno >= logging.WARNING else sys.stdout
+            )
+            stream.write(msg + "\n")
+        except Exception:
+            self.handleError(record)
+
+
+def setup_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` logger tree.
+
+    ``verbosity < 0`` (``--quiet``) shows only warnings; ``0`` is the
+    default INFO console; ``>= 1`` (``-v``) adds DEBUG detail.  Calling it
+    again reconfigures idempotently (one handler, updated level).
+    """
+    logger = logging.getLogger(ROOT)
+    for handler in list(logger.handlers):
+        if isinstance(handler, _ConsoleHandler):
+            logger.removeHandler(handler)
+    handler = _ConsoleHandler()
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    if verbosity < 0:
+        logger.setLevel(logging.WARNING)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    return logger
+
+
+def is_configured() -> bool:
+    return any(
+        isinstance(h, _ConsoleHandler)
+        for h in logging.getLogger(ROOT).handlers
+    )
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    return logging.getLogger(ROOT + ("." + name if name else ""))
+
+
+def echo(message: str) -> None:
+    """Console output honoring the CLI verbosity when configured."""
+    if is_configured():
+        get_logger("console").info(message)
+    else:
+        print(message)

@@ -1,0 +1,304 @@
+"""Metrics registry: counters, gauges, and streaming latency histograms.
+
+The registry is the *aggregated* half of the observability layer (the
+event tracer in :mod:`repro.obs.trace` is the raw half).  Three instrument
+types cover the pipeline:
+
+* :class:`Counter` — monotone totals (read attempts, calibration steps,
+  ECC decode outcomes, GC migrations).
+* :class:`Gauge`   — last-value samples (free blocks, queue depth).
+* :class:`Histogram` — streaming distributions over **fixed log-spaced
+  buckets**: each observation lands in one bucket counter, so memory stays
+  O(buckets) no matter how many samples flow through — no sample arrays.
+
+Design constraint: the read hot path runs millions of times per sweep, so
+when the registry is disabled every instrument handed out is a shared
+no-op singleton and instrumented code guards on one boolean attribute
+(``OBS.enabled``) before touching the registry at all.
+
+Label support is deliberately small: labels are passed as keyword
+arguments at lookup time and become part of the instrument identity
+(Prometheus-style ``name{k="v"}`` series).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def log_buckets(
+    lo: float = 1.0, hi: float = 1e7, per_decade: int = 4
+) -> List[float]:
+    """Fixed log-spaced bucket upper bounds spanning ``[lo, hi]``.
+
+    Returns ``per_decade`` edges per factor of 10, inclusive of both ends;
+    observations above the last edge fall into the implicit overflow
+    bucket.  The defaults cover 1 us .. 10 s, the full range of NAND
+    operation latencies in this repository.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("log_buckets requires 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    n = int(math.ceil(math.log10(hi / lo) * per_decade))
+    return [lo * 10 ** (i / per_decade) for i in range(n + 1)]
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-value instrument."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Streaming histogram over fixed bucket upper bounds.
+
+    ``counts[i]`` holds observations with ``value <= edges[i]`` (the first
+    matching edge); ``counts[-1]`` is the overflow bucket.  Alongside the
+    buckets the exact ``count``/``sum``/``min``/``max`` are tracked, so the
+    mean is exact and only the quantiles are bucket-quantized.
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        edges: Optional[Sequence[float]] = None,
+        labels: LabelSet = (),
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.edges = list(edges) if edges is not None else log_buckets()
+        if any(nxt <= cur for cur, nxt in zip(self.edges, self.edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.counts = [0] * (len(self.edges) + 1)  # +1: overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the upper edge of the bucket where
+        the cumulative count first reaches ``q * count`` (the observed
+        maximum for the overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            cum += c
+            if cum >= target:
+                return self.edges[i] if i < len(self.edges) else self.max
+        return self.max
+
+
+class _NoopInstrument:
+    """Shared do-nothing stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, v: float) -> None:
+        pass
+
+    def observe(self, v: float) -> None:
+        pass
+
+
+_NOOP = _NoopInstrument()
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Named instruments with optional labels.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the same
+    (name, labels) pair always returns the same instrument.  When
+    ``enabled`` is False they return a shared no-op object instead, so
+    callers never need their own branch per update.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, str, LabelSet], object] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Dict[str, str],
+             factory) -> object:
+        key = (kind, name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = factory(name, key[2])
+            self._instruments[key] = inst
+        return inst
+
+    def counter(self, name: str, help: Optional[str] = None,
+                **labels: str) -> Counter:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        if help:
+            self._help.setdefault(name, help)
+        return self._get("counter", name, labels, Counter)  # type: ignore
+
+    def gauge(self, name: str, help: Optional[str] = None,
+              **labels: str) -> Gauge:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        if help:
+            self._help.setdefault(name, help)
+        return self._get("gauge", name, labels, Gauge)  # type: ignore
+
+    def histogram(
+        self,
+        name: str,
+        help: Optional[str] = None,
+        edges: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        if not self.enabled:
+            return _NOOP  # type: ignore[return-value]
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(
+            "histogram", name, labels,
+            lambda n, ls: Histogram(n, edges=edges, labels=ls),
+        )  # type: ignore
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._instruments.clear()
+        self._help.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable dump of every instrument."""
+        out: Dict[str, object] = {}
+        for (kind, name, labels), inst in sorted(self._instruments.items()):
+            key = name + _format_labels(labels)
+            if kind == "histogram":
+                h: Histogram = inst  # type: ignore[assignment]
+                out[key] = {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "p50": h.quantile(0.50),
+                    "p99": h.quantile(0.99),
+                    "buckets": {
+                        _edge_label(h.edges, i): c
+                        for i, c in enumerate(h.counts) if c
+                    },
+                }
+            else:
+                out[key] = inst.value  # type: ignore[union-attr]
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        seen_header = set()
+        for (kind, name, labels), inst in sorted(self._instruments.items()):
+            if name not in seen_header:
+                seen_header.add(name)
+                if name in self._help:
+                    lines.append(f"# HELP {name} {self._help[name]}")
+                lines.append(f"# TYPE {name} {kind}")
+            label_str = _format_labels(labels)
+            if kind == "histogram":
+                h: Histogram = inst  # type: ignore[assignment]
+                cum = 0
+                for i, edge in enumerate(h.edges):
+                    cum += h.counts[i]
+                    le = _merge_labels(labels, ("le", f"{edge:g}"))
+                    lines.append(f"{name}_bucket{le} {cum}")
+                cum += h.counts[-1]
+                le = _merge_labels(labels, ("le", "+Inf"))
+                lines.append(f"{name}_bucket{le} {cum}")
+                lines.append(f"{name}_sum{label_str} {h.sum:g}")
+                lines.append(f"{name}_count{label_str} {h.count}")
+            else:
+                lines.append(
+                    f"{name}{label_str} {inst.value:g}"  # type: ignore
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: LabelSet, extra: Tuple[str, str]) -> str:
+    return _format_labels(tuple(sorted(labels + (extra,))))
+
+
+def _edge_label(edges: Sequence[float], i: int) -> str:
+    return f"le={edges[i]:g}" if i < len(edges) else "le=+Inf"

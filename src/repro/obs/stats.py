@@ -1,0 +1,189 @@
+"""Trace replay and aggregation: what ``python -m repro stats`` prints.
+
+Aggregates an exported JSONL event stream (see :mod:`repro.obs.trace`)
+into the three views the paper's evaluation keeps coming back to:
+
+* the **retry-count histogram** — how many reads needed 0, 1, 2, ...
+  retries (Figure 13's distributional claim);
+* the **calibration-case breakdown** — how often the state-change
+  comparison diagnosed undershoot (Case 1) vs. overshoot (Case 2);
+* **die/channel occupancy** — busy microseconds per resource against the
+  trace horizon, the utilization view of where read time actually went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.obs.trace import TraceEvent
+
+_CASE_NAMES = {"case1": "case1 (undershoot: probe further)",
+               "case2": "case2 (overshoot: probe back)"}
+
+
+@dataclass
+class TraceStats:
+    """Aggregates of one event stream."""
+
+    n_events: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    #: retries -> number of reads (from SSD-level ``read_attempt`` and
+    #: chip-level ``read_complete`` events, which carry a total)
+    retry_histogram: Dict[int, int] = field(default_factory=dict)
+    calibration_cases: Dict[str, int] = field(default_factory=dict)
+    fallback_reads: int = 0
+    ecc_failures: int = 0
+    ecc_decodes: int = 0
+    gc_pages_migrated: int = 0
+    #: resource name -> cumulative busy microseconds
+    resource_busy_us: Dict[str, float] = field(default_factory=dict)
+    horizon_us: float = 0.0
+
+    @property
+    def reads(self) -> int:
+        return sum(self.retry_histogram.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(k * v for k, v in self.retry_histogram.items())
+
+    @property
+    def mean_retries(self) -> float:
+        return self.total_retries / self.reads if self.reads else 0.0
+
+    def utilization(self) -> Dict[str, float]:
+        if self.horizon_us <= 0:
+            return {name: 0.0 for name in self.resource_busy_us}
+        return {
+            name: busy / self.horizon_us
+            for name, busy in self.resource_busy_us.items()
+        }
+
+
+def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
+    """Fold an event stream into :class:`TraceStats`."""
+    stats = TraceStats()
+    for event in events:
+        stats.n_events += 1
+        stats.kind_counts[event.kind] = stats.kind_counts.get(event.kind, 0) + 1
+        f = event.fields
+        if event.kind == "read_attempt":
+            retries = f.get("retries")
+            if retries is not None:  # SSD-level events carry the total
+                r = int(retries)
+                stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
+        elif event.kind == "read_complete":
+            r = int(f.get("retries", 0))
+            stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
+        elif event.kind == "calibration_step":
+            case = str(f.get("case", "unknown"))
+            stats.calibration_cases[case] = (
+                stats.calibration_cases.get(case, 0) + 1
+            )
+        elif event.kind == "fallback_table":
+            stats.fallback_reads += 1
+        elif event.kind == "ecc_decode":
+            stats.ecc_decodes += 1
+            if not f.get("decoded", True):
+                stats.ecc_failures += 1
+        elif event.kind == "gc_migrate":
+            stats.gc_pages_migrated += int(f.get("migrated", 0))
+        elif event.kind in ("die_busy", "channel_busy"):
+            name = str(f.get("resource", event.kind))
+            busy = float(f.get("end", 0.0)) - float(f.get("start", 0.0))
+            stats.resource_busy_us[name] = (
+                stats.resource_busy_us.get(name, 0.0) + busy
+            )
+            stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
+    return stats
+
+
+def render(stats: TraceStats, width: int = 48) -> str:
+    """Human-readable report of a :class:`TraceStats` (ASCII only)."""
+    from repro.analysis.ascii_plot import bar_chart
+    from repro.analysis.report import format_table
+
+    sections: List[str] = []
+    sections.append(
+        format_table(
+            sorted(stats.kind_counts.items()),
+            headers=["event kind", "count"],
+            title=f"trace: {stats.n_events} events",
+        )
+    )
+
+    if stats.retry_histogram:
+        ks = sorted(stats.retry_histogram)
+        labels = [str(k) for k in range(ks[0], ks[-1] + 1)]
+        values = [
+            float(stats.retry_histogram.get(k, 0))
+            for k in range(ks[0], ks[-1] + 1)
+        ]
+        sections.append(
+            bar_chart(
+                labels,
+                values,
+                width=width,
+                title=(
+                    f"retry-count histogram ({stats.reads} reads, "
+                    f"mean {stats.mean_retries:.2f} retries/read)"
+                ),
+            )
+        )
+    else:
+        sections.append("retry-count histogram: no read events in trace")
+
+    if stats.calibration_cases:
+        rows = [
+            (_CASE_NAMES.get(case, case), count)
+            for case, count in sorted(stats.calibration_cases.items())
+        ]
+        sections.append(
+            format_table(
+                rows,
+                headers=["calibration case", "steps"],
+                title="calibration-case breakdown",
+            )
+        )
+    else:
+        sections.append("calibration-case breakdown: no calibration events")
+
+    if stats.resource_busy_us:
+        util = stats.utilization()
+        rows = [
+            (name, f"{busy:.0f}", f"{util[name]:.1%}")
+            for name, busy in sorted(stats.resource_busy_us.items())
+        ]
+        sections.append(
+            format_table(
+                rows,
+                headers=["resource", "busy us", "utilization"],
+                title=(
+                    f"die/channel occupancy "
+                    f"(horizon {stats.horizon_us:.0f} us)"
+                ),
+            )
+        )
+
+    extras = []
+    if stats.fallback_reads:
+        extras.append(f"fallback-table reads: {stats.fallback_reads}")
+    if stats.ecc_decodes:
+        extras.append(
+            f"ECC decodes: {stats.ecc_decodes} "
+            f"({stats.ecc_failures} failed)"
+        )
+    if stats.gc_pages_migrated:
+        extras.append(f"GC pages migrated: {stats.gc_pages_migrated}")
+    if extras:
+        sections.append("\n".join(extras))
+
+    return "\n\n".join(sections)
+
+
+def stats_from_jsonl(path: str) -> TraceStats:
+    """Load + aggregate in one call (the ``repro stats`` entry point)."""
+    from repro.obs.trace import load_jsonl
+
+    return aggregate(load_jsonl(path))

@@ -1,0 +1,156 @@
+"""Structured event tracer: typed events in a ring buffer, JSONL in/out.
+
+Every interesting transition of the read/retry/SSD pipeline emits one
+:class:`TraceEvent` — a kind from :data:`EVENT_KINDS` plus free-form
+scalar fields.  Events land in a bounded ring buffer (``collections.deque``
+with ``maxlen``), so a long simulation cannot exhaust memory; the newest
+events win.  ``export_jsonl``/``load_jsonl`` round-trip the buffer through
+one-JSON-object-per-line files, the format ``python -m repro stats``
+replays.
+
+Event schema (fields beyond ``seq``/``kind`` by emitting site):
+
+====================  ====================================================
+kind                  fields
+====================  ====================================================
+``read_attempt``      chip level: ``policy, page, attempt, rber, decoded``;
+                      SSD level: ``level="ssd", policy, die, page_type,
+                      gc, retries, extra, ts, service_us``
+``read_complete``     ``policy, page, retries, extra, calibration_steps,
+                      success`` (one per chip-level read, emitted by
+                      :meth:`repro.ssd.retry_model.RetryProfile.measure`)
+``sentinel_inference``  ``policy, page, d_rate, sentinel_offset,
+                      temperature``
+``calibration_step``  ``policy, page, step, case, offset`` — ``case`` is
+                      ``case1`` (state change says: probe further) or
+                      ``case2`` (overshoot: probe back)
+``fallback_table``    ``policy, page, after_retries``
+``ecc_decode``        ``decoded, frames, max_frame_errors``
+``gc_migrate``        ``die, block, migrated``
+``die_busy``          ``resource, start, end`` (microseconds)
+``channel_busy``      ``resource, start, end`` (microseconds)
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List
+
+#: The closed set of event kinds; ``emit`` rejects anything else so field
+#: typos surface immediately instead of producing unparseable traces.
+EVENT_KINDS = frozenset(
+    {
+        "read_attempt",
+        "read_complete",
+        "sentinel_inference",
+        "calibration_step",
+        "fallback_table",
+        "ecc_decode",
+        "gc_migrate",
+        "die_busy",
+        "channel_busy",
+    }
+)
+
+DEFAULT_CAPACITY = 1_000_000
+
+
+@dataclass
+class TraceEvent:
+    """One structured event: a monotone sequence number, a kind, fields."""
+
+    seq: int
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"seq": self.seq, "kind": self.kind, **self.fields}
+        return json.dumps(payload, default=_json_default, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        payload = json.loads(line)
+        seq = int(payload.pop("seq"))
+        kind = str(payload.pop("kind"))
+        return cls(seq=seq, kind=kind, fields=payload)
+
+
+def _json_default(obj: Any) -> Any:
+    """Coerce numpy scalars/arrays without importing numpy eagerly."""
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    return str(obj)
+
+
+class EventTracer:
+    """Bounded in-memory event sink.
+
+    When ``enabled`` is False, ``emit`` is still safe to call but callers
+    are expected to guard on the flag first — the whole point is that the
+    disabled hot path pays one attribute load, not a function call.
+    """
+
+    def __init__(
+        self, enabled: bool = False, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0  # events evicted by the ring bound
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; one of {sorted(EVENT_KINDS)}"
+            )
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self._seq, kind, fields))
+        self._seq += 1
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: str) -> int:
+        """Write the buffer as JSON Lines; returns the event count."""
+        n = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._events:
+                fh.write(event.to_json())
+                fh.write("\n")
+                n += 1
+        return n
+
+
+def load_jsonl(path: str) -> List[TraceEvent]:
+    """Read back a trace exported by :meth:`EventTracer.export_jsonl`."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+def iter_kind(events: Iterable[TraceEvent], kind: str) -> Iterable[TraceEvent]:
+    """Filter helper used by the aggregators."""
+    return (e for e in events if e.kind == kind)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.ecc.capability import CapabilityEcc
 from repro.flash.wordline import Wordline, make_offsets
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -105,10 +106,32 @@ class ReadPolicy(ABC):
         if len(outcome.attempts) > 1:
             outcome.retries += 1
         outcome.success = decoded
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_read_attempts_total",
+                    help="full page read attempts (initial + retries)",
+                    policy=self.name,
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "read_attempt",
+                    policy=self.name,
+                    page=outcome.page,
+                    attempt=len(outcome.attempts),
+                    rber=float(result.rber),
+                    decoded=bool(decoded),
+                )
         return decoded
 
     def new_outcome(self, wordline: Wordline, page: Union[int, str]) -> ReadOutcome:
         p = wordline.spec.gray.page_index(page)
+        if OBS.enabled and OBS.metrics.enabled:
+            OBS.metrics.counter(
+                "repro_reads_total",
+                help="page-read operations started",
+                policy=self.name,
+            ).inc()
         return ReadOutcome(
             page=p, page_voltages=len(wordline.spec.gray.page_voltages(p))
         )

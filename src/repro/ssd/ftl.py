@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.ssd.config import SsdConfig
 
 INVALID = np.int64(-1)
@@ -183,6 +184,7 @@ class PageMappingFtl:
             if state.valid_count[victim] >= c.pages_per_block:
                 break  # nothing reclaimable: migrating a full block gains nothing
             state.sealed.remove(victim)
+            migrated = 0
             for page in range(c.pages_per_block):
                 lpn = state.page_lpn[victim, page]
                 if lpn == INVALID:
@@ -198,6 +200,7 @@ class PageMappingFtl:
                 ops.append(self._append(die_index, int(lpn)))
                 # _append marks it as a program on the active block
                 self.gc_writes += 1
+                migrated += 1
             ops.append(
                 PhysicalOp(kind="erase", die=die_index, block=victim, page=0, gc=True)
             )
@@ -205,6 +208,23 @@ class PageMappingFtl:
             state.valid_count[victim] = 0
             state.erase_count[victim] += 1
             self.gc_erases += 1
+            if OBS.enabled:
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_gc_migrated_pages_total",
+                        help="valid pages moved by garbage collection",
+                    ).inc(migrated)
+                    OBS.metrics.counter(
+                        "repro_gc_erases_total",
+                        help="blocks erased by garbage collection",
+                    ).inc()
+                if OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "gc_migrate",
+                        die=die_index,
+                        block=victim,
+                        migrated=migrated,
+                    )
         return ops
 
     def _victim_cost(self, state: _DieState, block: int) -> float:

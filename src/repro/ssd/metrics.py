@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -18,10 +18,15 @@ class LatencyStats:
     p95_us: float
     p99_us: float
     max_us: float
+    p999_us: float = 0.0
 
     @classmethod
     def from_samples(cls, samples: "List[float] | np.ndarray") -> "LatencyStats":
+        """Summarize finite samples; NaN/inf entries are rejected (dropped)
+        rather than silently poisoning the mean and percentiles.  ``count``
+        reports the finite samples actually summarized."""
         arr = np.asarray(samples, dtype=np.float64)
+        arr = arr[np.isfinite(arr)]
         if len(arr) == 0:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         return cls(
@@ -31,6 +36,7 @@ class LatencyStats:
             p95_us=float(np.percentile(arr, 95)),
             p99_us=float(np.percentile(arr, 99)),
             max_us=float(arr.max()),
+            p999_us=float(np.percentile(arr, 99.9)),
         )
 
     def row(self) -> str:
@@ -55,8 +61,14 @@ class SimulationReport:
     gc_writes: int
     gc_erases: int
     write_amplification: float
-    retries_sampled: int = 0
-    extras: Dict[str, float] = field(default_factory=dict)
+    #: retries -> number of page reads that needed exactly that many
+    retry_histogram: Dict[int, int] = field(default_factory=dict)
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def retries_sampled(self) -> int:
+        """Total retries across all reads (derived from the histogram)."""
+        return int(sum(k * v for k, v in self.retry_histogram.items()))
 
     @property
     def read_stats(self) -> LatencyStats:
@@ -75,6 +87,14 @@ class SimulationReport:
             f"  GC: {self.gc_writes} migrations, {self.gc_erases} erases, "
             f"WAF={self.write_amplification:.2f}",
         ]
+        if self.retry_histogram:
+            dist = "  ".join(
+                f"{k}:{v}" for k, v in sorted(self.retry_histogram.items())
+            )
+            lines.append(
+                f"  retries: {self.retries_sampled} total "
+                f"(per-read histogram {dist})"
+            )
         return "\n".join(lines)
 
 

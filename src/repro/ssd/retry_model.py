@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.flash.chip import FlashChip
+from repro.obs import OBS
 from repro.retry.policy import ReadPolicy
 from repro.ssd.timing import NandTiming
 
@@ -56,6 +57,16 @@ class RetryProfile:
                 collected[p].append(
                     (outcome.retries, outcome.extra_single_reads)
                 )
+                if OBS.enabled and OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "read_complete",
+                        policy=policy.name,
+                        page=p,
+                        retries=outcome.retries,
+                        extra=outcome.extra_single_reads,
+                        calibration_steps=outcome.calibration_steps,
+                        success=bool(outcome.success),
+                    )
         return cls(
             policy_name=policy.name,
             page_voltages=voltages,

@@ -16,11 +16,12 @@ requests are admitted in arrival order (open-loop replay of the trace).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.flash.spec import FlashSpec
+from repro.obs import OBS
 from repro.ssd.config import SsdConfig
 from repro.ssd.events import Resource
 from repro.ssd.ftl import PageMappingFtl, PhysicalOp
@@ -59,7 +60,14 @@ class Ssd:
         self._die_writes = [Resource(f"die{d}:w") for d in range(config.n_dies)]
         self._channels = [Resource(f"ch{c}") for c in range(config.channels)]
         self.suspend_us = 8.0
-        self.retries_sampled = 0
+        # retries -> number of page reads that needed exactly that many;
+        # the scalar total is derived (``retries_sampled``)
+        self.retry_histogram: Dict[int, int] = {}
+
+    @property
+    def retries_sampled(self) -> int:
+        """Total retries drawn so far (derived from the histogram)."""
+        return sum(k * v for k, v in self.retry_histogram.items())
 
     # ------------------------------------------------------------------
     # per-op scheduling
@@ -76,27 +84,91 @@ class Ssd:
             write_lane = self._die_writes[op.die]
             ptype = self._page_type(op)
             retries, extra = self.profile.sample(ptype, self.rng)
-            self.retries_sampled += retries
+            self.retry_histogram[retries] = (
+                self.retry_histogram.get(retries, 0) + 1
+            )
             n_v = self.profile.page_voltages[ptype]
             sense = (1 + retries) * t.sense_us(n_v) + extra * t.sense_us(1)
             if write_lane.busy_until > max(earliest_us, read_lane.busy_until):
                 sense += self.suspend_us  # suspend an in-flight program/erase
             transfers = (1 + retries + extra) * t.t_transfer_us
-            _, sense_end = read_lane.acquire(earliest_us, sense)
-            _, end = channel.acquire(sense_end, transfers)
+            sense_start, sense_end = read_lane.acquire(earliest_us, sense)
+            xfer_start, end = channel.acquire(sense_end, transfers)
+            if OBS.enabled:
+                self._observe_read(op, ptype, retries, extra, read_lane,
+                                   channel, sense_start, sense_end,
+                                   xfer_start, end)
             return end
         write_lane = self._die_writes[op.die]
         if op.kind == "program":
-            _, xfer_end = channel.acquire(earliest_us, t.t_transfer_us)
+            xfer_start, xfer_end = channel.acquire(earliest_us, t.t_transfer_us)
             # the program cannot start while a read is sensing
             start = max(xfer_end, self._die_reads[op.die].busy_until)
-            _, end = write_lane.acquire(start, t.t_program_us)
+            prog_start, end = write_lane.acquire(start, t.t_program_us)
+            if OBS.enabled:
+                self._observe_write(op, write_lane, prog_start, end,
+                                    channel, xfer_start, xfer_end)
             return end
         if op.kind == "erase":
             start = max(earliest_us, self._die_reads[op.die].busy_until)
-            _, end = write_lane.acquire(start, t.t_erase_us)
+            erase_start, end = write_lane.acquire(start, t.t_erase_us)
+            if OBS.enabled:
+                self._observe_write(op, write_lane, erase_start, end)
             return end
         raise ValueError(f"unknown op kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # observability (only reached when ``OBS.enabled``)
+    # ------------------------------------------------------------------
+    def _observe_read(self, op, ptype, retries, extra, read_lane, channel,
+                      sense_start, sense_end, xfer_start, end) -> None:
+        policy = self.profile.policy_name
+        if OBS.metrics.enabled:
+            m = OBS.metrics
+            m.counter(
+                "repro_ssd_reads_total",
+                help="scheduled NAND read operations",
+                policy=policy, gc=str(op.gc).lower(),
+            ).inc()
+            m.histogram(
+                "repro_ssd_read_service_us",
+                help="read service time: sense start to transfer end",
+                policy=policy,
+            ).observe(end - sense_start)
+        if OBS.tracer.enabled:
+            tr = OBS.tracer
+            tr.emit(
+                "read_attempt",
+                level="ssd",
+                policy=policy,
+                die=op.die,
+                page_type=ptype,
+                gc=op.gc,
+                retries=retries,
+                extra=extra,
+                ts=sense_start,
+                service_us=end - sense_start,
+            )
+            tr.emit("die_busy", resource=read_lane.name,
+                    start=sense_start, end=sense_end)
+            tr.emit("channel_busy", resource=channel.name,
+                    start=xfer_start, end=end)
+
+    def _observe_write(self, op, lane, start, end,
+                       channel=None, xfer_start=None, xfer_end=None) -> None:
+        policy = self.profile.policy_name
+        if OBS.metrics.enabled:
+            OBS.metrics.counter(
+                "repro_ssd_ops_total",
+                help="scheduled NAND program/erase operations",
+                policy=policy, kind=op.kind, gc=str(op.gc).lower(),
+            ).inc()
+        if OBS.tracer.enabled:
+            tr = OBS.tracer
+            tr.emit("die_busy", resource=lane.name, start=start, end=end)
+            if channel is not None:
+                tr.emit("channel_busy", resource=channel.name,
+                        start=xfer_start, end=xfer_end)
 
     # ------------------------------------------------------------------
     # trace replay
@@ -245,6 +317,8 @@ class Ssd:
                 np.mean([r.utilization(horizon) for r in self._channels])
             ),
         }
+        if OBS.enabled and OBS.metrics.enabled:
+            extras["obs"] = OBS.metrics.snapshot()
         return SimulationReport(
             trace_name=trace.name,
             policy_name=self.profile.policy_name,
@@ -256,6 +330,6 @@ class Ssd:
             gc_writes=self.ftl.gc_writes,
             gc_erases=self.ftl.gc_erases,
             write_amplification=self.ftl.write_amplification,
-            retries_sampled=self.retries_sampled,
+            retry_histogram=dict(self.retry_histogram),
             extras=extras,
         )

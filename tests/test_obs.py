@@ -1,0 +1,330 @@
+"""Observability layer (``repro.obs``): metrics, tracing, no-op contract."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import OBS
+from repro.obs.metrics import Histogram, MetricsRegistry, log_buckets
+from repro.obs.stats import aggregate, render
+from repro.obs.trace import EventTracer, TraceEvent, load_jsonl
+from repro.ssd.config import SsdConfig
+from repro.ssd.metrics import LatencyStats
+from repro.ssd.retry_model import RetryProfile
+from repro.ssd.ssd import Ssd
+from repro.ssd.timing import NandTiming
+from repro.traces.trace import Trace, TraceRequest
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with the global singleton off and empty."""
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+# ---------------------------------------------------------------------------
+# bucket / histogram math
+# ---------------------------------------------------------------------------
+class TestBuckets:
+    def test_log_buckets_span_and_monotone(self):
+        edges = log_buckets(1.0, 1e6, per_decade=4)
+        assert edges[0] == 1.0
+        assert edges[-1] >= 1e6
+        assert all(b > a for a, b in zip(edges, edges[1:]))
+        # 4 per decade over 6 decades -> 25 edges
+        assert len(edges) == 25
+
+    def test_log_buckets_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 10.0)
+        with pytest.raises(ValueError):
+            log_buckets(10.0, 10.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 10.0, per_decade=0)
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram("h", edges=[1.0, 10.0, 100.0])
+        for v in (0.5, 1.0, 5.0, 10.0, 99.0, 100.0, 1e9):
+            h.observe(v)
+        # counts: <=1: {0.5, 1.0}; <=10: {5, 10}; <=100: {99, 100}; over: 1e9
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1 + 5 + 10 + 99 + 100 + 1e9)
+        assert h.min == 0.5 and h.max == 1e9
+
+    def test_histogram_quantiles(self):
+        h = Histogram("h", edges=[1.0, 10.0, 100.0])
+        for v in [0.5] * 50 + [5.0] * 40 + [50.0] * 10:
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0  # within the first bucket
+        assert h.quantile(0.75) == 10.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) == 1.0
+        # overflow bucket reports the observed max
+        h.observe(1e9)
+        assert h.quantile(1.0) == 1e9
+
+    def test_histogram_mean_exact(self):
+        h = Histogram("h", edges=log_buckets())
+        values = [3.0, 7.5, 1234.0]
+        for v in values:
+            h.observe(v)
+        assert h.mean == pytest.approx(sum(values) / 3)
+
+    def test_rejects_non_monotone_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=[1.0, 1.0, 2.0])
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_gauge_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="a counter").inc()
+        reg.counter("c").inc(2.0)
+        reg.gauge("g").set(4.5)
+        snap = reg.snapshot()
+        assert snap["c"] == 3.0
+        assert snap["g"] == 4.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", policy="a").inc()
+        reg.counter("reads", policy="b").inc(5)
+        snap = reg.snapshot()
+        assert snap['reads{policy="a"}'] == 1.0
+        assert snap['reads{policy="b"}'] == 5.0
+
+    def test_disabled_registry_hands_out_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        c.inc()
+        c.observe(1.0)  # the shared no-op accepts every instrument verb
+        assert len(reg) == 0
+        assert reg.snapshot() == {}
+
+    def test_prometheus_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_reads_total", help="reads", policy="x").inc(7)
+        reg.histogram("lat_us", edges=[1.0, 10.0]).observe(5.0)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_reads_total counter" in text
+        assert 'repro_reads_total{policy="x"} 7' in text
+        assert '# HELP repro_reads_total reads' in text
+        assert 'lat_us_bucket{le="1"} 0' in text
+        assert 'lat_us_bucket{le="10"} 1' in text
+        assert 'lat_us_bucket{le="+Inf"} 1' in text
+        assert "lat_us_count 1" in text
+
+
+# ---------------------------------------------------------------------------
+# tracer
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_emit_is_noop(self):
+        tr = EventTracer(enabled=False)
+        tr.emit("read_attempt", policy="x")
+        assert len(tr) == 0
+
+    def test_unknown_kind_rejected(self):
+        tr = EventTracer(enabled=True)
+        with pytest.raises(ValueError):
+            tr.emit("read_atempt", policy="x")
+
+    def test_ring_buffer_bounds_memory(self):
+        tr = EventTracer(enabled=True, capacity=10)
+        for i in range(25):
+            tr.emit("ecc_decode", decoded=True, i=i)
+        assert len(tr) == 10
+        assert tr.dropped == 15
+        assert tr.events()[0].fields["i"] == 15  # oldest evicted
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tr = EventTracer(enabled=True)
+        tr.emit("read_attempt", policy="sentinel", page=2,
+                rber=float(np.float64(1.5e-3)), decoded=np.bool_(True))
+        tr.emit("calibration_step", case="case2", step=np.int64(3))
+        tr.emit("die_busy", resource="die0:r", start=0.0, end=48.0)
+        path = tmp_path / "trace.jsonl"
+        assert tr.export_jsonl(str(path)) == 3
+        back = load_jsonl(str(path))
+        assert [e.kind for e in back] == [e.kind for e in tr.events()]
+        assert [e.seq for e in back] == [0, 1, 2]
+        assert back[0].fields["rber"] == pytest.approx(1.5e-3)
+        assert back[0].fields["decoded"] is True
+        assert back[1].fields["step"] == 3
+        # numpy scalars were coerced to plain JSON types
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_singleton_enable_disable(self):
+        obs.enable(capacity=100)
+        assert OBS.enabled and OBS.metrics.enabled and OBS.tracer.enabled
+        assert OBS.tracer.capacity == 100
+        OBS.emit("gc_migrate", die=0, block=1, migrated=4)
+        assert len(OBS.tracer) == 1
+        obs.disable()
+        assert not OBS.enabled
+        OBS.emit("gc_migrate", die=0, block=1, migrated=4)
+        assert len(OBS.tracer) == 1  # buffered data kept, no new events
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: SSD run with and without observability
+# ---------------------------------------------------------------------------
+def _profile():
+    samples = {
+        p: np.array([[0, 0], [2, 1], [5, 2]], dtype=np.int64)
+        for p in range(3)
+    }
+    return RetryProfile(
+        policy_name="mixed",
+        page_voltages={0: 1, 1: 2, 2: 4},
+        samples=samples,
+    )
+
+
+def _trace(n=60):
+    reqs = [
+        TraceRequest(
+            time_s=i * 0.002,
+            op="R" if i % 2 == 0 else "W",
+            lba_bytes=(i * 7919 * 4096) % (2**22),
+            size_bytes=4096,
+        )
+        for i in range(n)
+    ]
+    return Trace("obs-unit", reqs)
+
+
+def _run(tiny_tlc, seed=3):
+    config = SsdConfig.for_spec(
+        tiny_tlc, channels=2, dies_per_channel=1, blocks_per_die=8,
+        overprovisioning=0.2,
+    )
+    ssd = Ssd(tiny_tlc, config, NandTiming(), _profile(), seed=seed)
+    return ssd.run_trace(_trace())
+
+
+class TestNoOpContract:
+    def test_disabled_mode_is_a_true_noop(self, tiny_tlc):
+        """Same seed, obs on vs. off: identical simulation numbers; the
+        disabled run leaves zero events and zero metrics behind."""
+        baseline = _run(tiny_tlc)
+        assert len(OBS.tracer) == 0
+        assert len(OBS.metrics) == 0
+
+        obs.enable()
+        traced = _run(tiny_tlc)
+        assert len(OBS.tracer) > 0
+        obs.disable()
+
+        np.testing.assert_array_equal(
+            baseline.read_latencies_us, traced.read_latencies_us
+        )
+        np.testing.assert_array_equal(
+            baseline.write_latencies_us, traced.write_latencies_us
+        )
+        assert baseline.retry_histogram == traced.retry_histogram
+        assert baseline.retries_sampled == traced.retries_sampled
+
+    def test_ssd_read_events_cover_host_reads(self, tiny_tlc):
+        obs.enable()
+        report = _run(tiny_tlc)
+        events = OBS.tracer.events()
+        ssd_reads = [
+            e for e in events
+            if e.kind == "read_attempt" and not e.fields.get("gc", False)
+        ]
+        assert len(ssd_reads) >= report.host_reads
+        assert report.extras["obs"]  # metrics snapshot wired into extras
+
+    def test_report_retry_histogram_matches_samples(self, tiny_tlc):
+        report = _run(tiny_tlc)
+        assert set(report.retry_histogram) <= {0, 2, 5}
+        assert sum(report.retry_histogram.values()) >= report.host_reads
+        assert report.retries_sampled == sum(
+            k * v for k, v in report.retry_histogram.items()
+        )
+
+
+# ---------------------------------------------------------------------------
+# aggregation + rendering
+# ---------------------------------------------------------------------------
+class TestStats:
+    def test_aggregate_and_render(self, tiny_tlc, tmp_path):
+        obs.enable()
+        _run(tiny_tlc)
+        path = tmp_path / "t.jsonl"
+        OBS.tracer.export_jsonl(str(path))
+        obs.disable()
+
+        stats = aggregate(load_jsonl(str(path)))
+        assert stats.n_events == len(load_jsonl(str(path)))
+        assert stats.reads > 0
+        assert stats.retry_histogram
+        assert stats.mean_retries >= 0
+        assert stats.resource_busy_us
+        assert 0 < stats.horizon_us < math.inf
+        for util in stats.utilization().values():
+            assert 0.0 <= util <= 1.0
+
+        text = render(stats)
+        assert "retry-count histogram" in text
+        assert "die/channel occupancy" in text
+
+    def test_render_empty_trace(self):
+        text = render(aggregate([]))
+        assert "no read events" in text
+        assert "no calibration events" in text
+
+    def test_calibration_cases_counted(self):
+        events = [
+            TraceEvent(0, "calibration_step", {"case": "case1", "step": 1}),
+            TraceEvent(1, "calibration_step", {"case": "case1", "step": 2}),
+            TraceEvent(2, "calibration_step", {"case": "case2", "step": 1}),
+        ]
+        stats = aggregate(events)
+        assert stats.calibration_cases == {"case1": 2, "case2": 1}
+        assert "case1" in render(stats)
+
+
+# ---------------------------------------------------------------------------
+# LatencyStats hardening (satellite)
+# ---------------------------------------------------------------------------
+class TestLatencyStats:
+    def test_rejects_nan_and_inf(self):
+        stats = LatencyStats.from_samples(
+            [100.0, float("nan"), 200.0, float("inf"), -float("inf")]
+        )
+        assert stats.count == 2
+        assert stats.mean_us == pytest.approx(150.0)
+        assert math.isfinite(stats.p99_us)
+
+    def test_all_nonfinite_is_empty(self):
+        stats = LatencyStats.from_samples([float("nan"), float("inf")])
+        assert stats.count == 0
+        assert stats.mean_us == 0.0
+
+    def test_p999_present_row_unchanged(self):
+        arr = np.arange(1.0, 10001.0)
+        stats = LatencyStats.from_samples(arr)
+        assert stats.p999_us == pytest.approx(np.percentile(arr, 99.9))
+        assert stats.p999_us >= stats.p99_us
+        # row() stays byte-compatible with the seed format: no p999 field
+        assert "p999" not in stats.row()
+        assert "p99=" in stats.row()
