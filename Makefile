@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench examples figures clean
+.PHONY: install test lint bench examples figures serve-smoke clean
 
 install:
 	pip install -e .[test]
@@ -26,6 +26,9 @@ examples:
 figures:
 	$(PYTHON) -m repro figure fig13
 	$(PYTHON) -m repro figure table1 --kind qlc
+
+serve-smoke:
+	$(PYTHON) -m repro serve --smoke --seed 1 --requests 300
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,96 @@
+"""Serving-layer throughput: the voltage cache under three load levels.
+
+The service benchmark complements ``test_throughput.py``: instead of a
+single closed-loop trace replay, it drives the online serving layer
+(``repro.service``) with the mixed two-client scenario at three arrival
+rates, with the voltage-offset cache + scrubber on and off, on cold/warm
+retry profiles *measured* on the aged TLC evaluation block.  Results land
+in ``BENCH_service.json`` (machine-readable: IOPS, read p99, cache hit
+rate, mean retries per read at each load level) next to this file.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.exp.common import eval_chip
+from repro.service import (
+    FlashReadService,
+    ServiceConfig,
+    measure_service_profiles,
+    mixed_scenario,
+)
+from repro.ssd import NandTiming, SsdConfig
+
+LOAD_LEVELS = {"low": 1000.0, "medium": 4000.0, "high": 12000.0}
+OUT_PATH = Path(__file__).parent / "BENCH_service.json"
+
+
+def run_level(profiles, spec, read_iops, cache_enabled):
+    config = SsdConfig.for_spec(
+        spec, channels=2, dies_per_channel=2, blocks_per_die=64
+    )
+    clients = mixed_scenario(n_requests=600, read_iops=read_iops)
+    service = FlashReadService(
+        spec=spec,
+        ssd_config=config,
+        timing=NandTiming(),
+        profiles=profiles,
+        seed=3,
+        config=ServiceConfig(cache_enabled=cache_enabled,
+                             scrub_enabled=cache_enabled),
+    )
+    report = service.run(list(clients), scenario=f"bench-{read_iops:.0f}")
+    online = report.clients["online-read"]
+    return {
+        "read_iops_offered": read_iops,
+        "iops": online["iops"],
+        "read_p99_us": online["read_p99_us"],
+        "cache_hit_rate": report.cache.get("hit_rate", 0.0),
+        "mean_retries_per_read": report.mean_retries_per_read,
+        "shed": report.shed_total,
+    }
+
+
+def bench():
+    profiles = measure_service_profiles("tlc")
+    spec = eval_chip("tlc").spec
+    results = {}
+    for level, iops in LOAD_LEVELS.items():
+        results[level] = {
+            "cache": run_level(profiles, spec, iops, cache_enabled=True),
+            "no_cache": run_level(profiles, spec, iops, cache_enabled=False),
+        }
+    return results
+
+
+def test_service_throughput(benchmark):
+    results = benchmark.pedantic(bench, rounds=1, iterations=1)
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    rows = []
+    for level, pair in results.items():
+        for mode in ("cache", "no_cache"):
+            r = pair[mode]
+            rows.append((
+                level,
+                mode,
+                f"{r['iops']:.0f}",
+                f"{r['read_p99_us']:.0f}us",
+                f"{r['cache_hit_rate']:.0%}",
+                f"{r['mean_retries_per_read']:.3f}",
+            ))
+    emit(
+        "Serving layer (online-read client): voltage cache on vs off",
+        rows,
+        headers=["load", "mode", "IOPS", "read p99", "hit rate",
+                 "retries/read"],
+    )
+    for level, pair in results.items():
+        with_cache, without = pair["cache"], pair["no_cache"]
+        # the cache must shave retries at every load level ...
+        assert (with_cache["mean_retries_per_read"]
+                < without["mean_retries_per_read"]), level
+        assert with_cache["cache_hit_rate"] > 0.5, level
+        # ... and never serve the open-loop client slower
+        assert with_cache["read_p99_us"] <= without["read_p99_us"], level

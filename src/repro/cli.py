@@ -7,6 +7,8 @@ Commands
 ``read``          serve one page read on an aged die with every policy and
                   show the retry/latency accounting.
 ``simulate``      trace-driven SSD comparison (synthetic or real MSR CSV).
+``serve``         online serving layer: concurrent clients + voltage-offset
+                  cache + background scrubber (``--smoke`` for CI).
 ``overhead``      sentinel space-overhead report for a chip/ratio.
 ``figure``        run one paper-figure driver and print its rows.
 ``stats``         summarize an exported observability JSONL trace.
@@ -196,6 +198,64 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return _export_obs(args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        FlashReadService,
+        ServiceConfig,
+        measure_service_profiles,
+        mixed_scenario,
+        synthetic_profiles,
+    )
+    from repro.ssd.config import SsdConfig
+    from repro.ssd.timing import NandTiming
+
+    _maybe_enable_obs(args)
+    if args.smoke:
+        # chip-free: synthetic retry mixtures, a small workload — seconds
+        profiles = synthetic_profiles(args.kind)
+        n_requests = min(args.requests, 300)
+        scenario = "smoke"
+    else:
+        echo(f"measuring cold/warm sentinel profiles on the aged "
+             f"{args.kind} evaluation block ...")
+        profiles = measure_service_profiles(args.kind)
+        n_requests = args.requests
+        scenario = "mixed"
+    clients = mixed_scenario(
+        n_requests=n_requests,
+        read_iops=args.read_iops,
+        footprint_pages=args.footprint_pages,
+    )
+    spec = _spec(args.kind, args.cells)
+    config = SsdConfig.for_spec(
+        spec, channels=2, dies_per_channel=2, blocks_per_die=64
+    )
+    service = FlashReadService(
+        spec=spec,
+        ssd_config=config,
+        timing=NandTiming(),
+        profiles=profiles,
+        seed=args.seed,
+        config=ServiceConfig(
+            cache_enabled=not args.no_cache,
+            scrub_enabled=not args.no_scrub,
+        ),
+    )
+    report = service.run(list(clients), scenario=scenario)
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro serve: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"service report -> {args.json}")
+    return _export_obs(args)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -332,6 +392,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate-scale", type=float, default=20.0)
     add_obs(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="online serving layer: clients + voltage cache + scrubber",
+    )
+    add_common(p)
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="chip-free smoke run (synthetic retry profiles, small workload)",
+    )
+    p.add_argument("--requests", type=int, default=800,
+                   help="requests of the open-loop reader (closed-loop "
+                        "client gets half)")
+    p.add_argument("--read-iops", type=float, default=4000.0,
+                   help="open-loop reader arrival rate")
+    p.add_argument("--footprint-pages", type=int, default=2048,
+                   help="logical pages each client touches")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the voltage-offset cache")
+    p.add_argument("--no-scrub", action="store_true",
+                   help="disable the background sentinel scrubber")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON service report here")
+    add_obs(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("overhead", help="sentinel space-overhead report")
     p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="qlc")

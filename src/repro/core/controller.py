@@ -71,10 +71,19 @@ class SentinelController(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
         spec = wordline.spec
+        temperature = wordline.stress.temperature_c
         outcome = self.new_outcome(wordline, page)
-        if self.attempt(wordline, outcome, None, rng):
+        # A cached sentinel offset (from the serving layer's voltage cache)
+        # replaces the default voltages on the first attempt; a fresh hint
+        # usually decodes immediately, turning the read into a zero-retry one.
+        first = (
+            None if hint is None
+            else self.model.offsets_from_sentinel(float(hint), temperature)
+        )
+        if self.attempt(wordline, outcome, first, rng):
             return outcome
 
         # --- sentinel inference -------------------------------------------
@@ -83,12 +92,22 @@ class SentinelController(ReadPolicy):
             # CSB/MSB failure: issue the cheap extra read at the sentinel
             # voltage ("this is also an LSB page read").
             outcome.extra_single_reads += 1
-        readout = wordline.sentinel_readout(0.0, rng)
+        # The error difference is measured at the position the failed read
+        # actually applied: the default sentinel voltage, or the hinted one.
+        base = float(hint) if hint is not None else 0.0
+        readout = wordline.sentinel_readout(base, rng)
         d_rate = readout.difference_rate
-        temperature = wordline.stress.temperature_c
-        sentinel_offset = float(
+        correction = float(
             np.round(self.model.infer_sentinel_offset(d_rate))
         )
+        if hint is not None:
+            # f(d) was fitted at the default position; relative to a hint it
+            # is a first-order correction, so clamp it to half a state pitch
+            # (same guard as the tracking+sentinel combination policy).
+            correction = float(np.clip(
+                correction, -spec.state_pitch / 2, spec.state_pitch / 2
+            ))
+        sentinel_offset = base + correction
         if OBS.enabled:
             if OBS.metrics.enabled:
                 OBS.metrics.counter(
@@ -117,7 +136,7 @@ class SentinelController(ReadPolicy):
         # expand around the inferred offset alternating sides, so a wrong
         # verdict costs one retry instead of a divergent walk.
         calibrator = self._calibrator_for(wordline)
-        direction_hint = sentinel_offset if sentinel_offset != 0.0 else (
+        direction_hint = correction if correction != 0.0 else (
             d_rate if d_rate != 0.0 else -1.0
         )
         # the comparison needs single-voltage reads at the default and the

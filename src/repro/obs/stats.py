@@ -8,7 +8,14 @@ into the three views the paper's evaluation keeps coming back to:
 * the **calibration-case breakdown** — how often the state-change
   comparison diagnosed undershoot (Case 1) vs. overshoot (Case 2);
 * **die/channel occupancy** — busy microseconds per resource against the
-  trace horizon, the utilization view of where read time actually went.
+  trace horizon, the utilization view of where read time actually went;
+* the **serving layer** — voltage-cache hits/misses, scrub passes and
+  sheds from ``repro serve`` runs (see :mod:`repro.service`).
+
+Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
+written by a newer build, say) still count and render — they are listed in
+the kind table and flagged in a summary line instead of crashing the
+replay.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
-from repro.obs.trace import TraceEvent
+from repro.obs.trace import EVENT_KINDS, TraceEvent
 
 _CASE_NAMES = {"case1": "case1 (undershoot: probe further)",
                "case2": "case2 (overshoot: probe back)"}
@@ -39,6 +46,15 @@ class TraceStats:
     #: resource name -> cumulative busy microseconds
     resource_busy_us: Dict[str, float] = field(default_factory=dict)
     horizon_us: float = 0.0
+    # serving-layer events (repro.service)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    scrub_passes: int = 0
+    scrub_pages_refreshed: int = 0
+    #: client name -> requests shed by admission control
+    shed_by_client: Dict[str, int] = field(default_factory=dict)
+    #: kinds outside ``EVENT_KINDS`` (traces from newer builds)
+    unknown_kinds: Dict[str, int] = field(default_factory=dict)
 
     @property
     def reads(self) -> int:
@@ -51,6 +67,18 @@ class TraceStats:
     @property
     def mean_retries(self) -> float:
         return self.total_retries / self.reads if self.reads else 0.0
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_lookups if self.cache_lookups else 0.0
+
+    @property
+    def shed_requests(self) -> int:
+        return sum(self.shed_by_client.values())
 
     def utilization(self) -> Dict[str, float]:
         if self.horizon_us <= 0:
@@ -96,6 +124,23 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
                 stats.resource_busy_us.get(name, 0.0) + busy
             )
             stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
+        elif event.kind == "cache_hit":
+            stats.cache_hits += 1
+        elif event.kind == "cache_miss":
+            stats.cache_misses += 1
+        elif event.kind == "scrub_pass":
+            stats.scrub_passes += 1
+            stats.scrub_pages_refreshed += int(f.get("refreshed", 0))
+            stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
+        elif event.kind == "shed":
+            client = str(f.get("client", "unknown"))
+            stats.shed_by_client[client] = (
+                stats.shed_by_client.get(client, 0) + 1
+            )
+        elif event.kind not in EVENT_KINDS:
+            stats.unknown_kinds[event.kind] = (
+                stats.unknown_kinds.get(event.kind, 0) + 1
+            )
     return stats
 
 
@@ -166,6 +211,28 @@ def render(stats: TraceStats, width: int = 48) -> str:
             )
         )
 
+    if stats.cache_lookups or stats.scrub_passes or stats.shed_by_client:
+        lines = [
+            "serving layer:",
+            (
+                f"  voltage cache: {stats.cache_hits}/{stats.cache_lookups}"
+                f" hits ({stats.cache_hit_rate:.1%})"
+            ),
+            (
+                f"  scrubber: {stats.scrub_passes} passes, "
+                f"{stats.scrub_pages_refreshed} entries refreshed"
+            ),
+        ]
+        if stats.shed_by_client:
+            per_client = ", ".join(
+                f"{client}={count}"
+                for client, count in sorted(stats.shed_by_client.items())
+            )
+            lines.append(
+                f"  shed requests: {stats.shed_requests} ({per_client})"
+            )
+        sections.append("\n".join(lines))
+
     extras = []
     if stats.fallback_reads:
         extras.append(f"fallback-table reads: {stats.fallback_reads}")
@@ -176,6 +243,14 @@ def render(stats: TraceStats, width: int = 48) -> str:
         )
     if stats.gc_pages_migrated:
         extras.append(f"GC pages migrated: {stats.gc_pages_migrated}")
+    if stats.unknown_kinds:
+        listed = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(stats.unknown_kinds.items())
+        )
+        extras.append(
+            f"unrecognized event kinds (newer trace format?): {listed}"
+        )
     if extras:
         sections.append("\n".join(extras))
 

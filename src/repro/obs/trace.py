@@ -29,6 +29,14 @@ kind                  fields
 ``gc_migrate``        ``die, block, migrated``
 ``die_busy``          ``resource, start, end`` (microseconds)
 ``channel_busy``      ``resource, start, end`` (microseconds)
+``cache_hit``         ``die, block, layer, ts, gc`` — voltage-cache lookup
+                      that found a fresh offset (serving layer)
+``cache_miss``        ``die, block, layer, ts, gc`` — lookup that found
+                      nothing (or a drift-stale entry)
+``scrub_pass``        ``die, refreshed, start, end`` — one bounded
+                      background scrub pass over a die's cache entries
+``shed``              ``client, ts, read`` — request rejected by the
+                      broker's admission control
 ====================  ====================================================
 """
 
@@ -52,6 +60,11 @@ EVENT_KINDS = frozenset(
         "gc_migrate",
         "die_busy",
         "channel_busy",
+        # serving layer (repro.service)
+        "cache_hit",
+        "cache_miss",
+        "scrub_pass",
+        "shed",
     }
 )
 

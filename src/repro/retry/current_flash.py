@@ -98,7 +98,9 @@ class CurrentFlashPolicy(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
+        # hint ignored: the vendor table has no notion of a cached offset
         outcome = self.new_outcome(wordline, page)
         if self.attempt(wordline, outcome, None, rng):
             return outcome

@@ -52,7 +52,9 @@ class LayerSimilarityPolicy(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
+        # hint ignored: the per-layer tracked table plays the same role
         outcome = self.new_outcome(wordline, page)
         tracked = self.tracked_offsets(wordline.block, wordline.layer)
         if self.attempt(wordline, outcome, tracked, rng):

@@ -30,7 +30,9 @@ class OraclePolicy(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
+        # hint ignored: the oracle already knows the optimum
         outcome = self.new_outcome(wordline, page)
         if not self.skip_default:
             if self.attempt(wordline, outcome, None, rng):

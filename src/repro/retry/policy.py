@@ -168,5 +168,14 @@ class ReadPolicy(ABC):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
-        """Read a page to completion (success or retry exhaustion)."""
+        """Read a page to completion (success or retry exhaustion).
+
+        ``hint`` is an optional cached sentinel-voltage offset (in voltage
+        steps) from an earlier read of the same block/layer — e.g. from a
+        :class:`repro.service.voltage_cache.VoltageOffsetCache`.  Policies
+        that know how to derive per-voltage offsets from it (the sentinel
+        controller) start their first attempt there instead of at the
+        default voltages; others ignore it.
+        """

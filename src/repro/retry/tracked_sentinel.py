@@ -65,7 +65,9 @@ class TrackedSentinelPolicy(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
+        # hint ignored: tracking already supplies the first-attempt voltages
         spec = wordline.spec
         outcome = self.new_outcome(wordline, page)
         tracked = self.tracked_offsets(wordline.block)

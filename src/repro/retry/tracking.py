@@ -60,7 +60,9 @@ class TrackingPolicy(ReadPolicy):
         wordline: Wordline,
         page: Union[int, str],
         rng: Optional[np.random.Generator] = None,
+        hint: Optional[float] = None,
     ) -> ReadOutcome:
+        # hint ignored: tracking already supplies the first-attempt voltages
         outcome = self.new_outcome(wordline, page)
         tracked = self.tracked_offsets(wordline.block)
         if self.attempt(wordline, outcome, tracked, rng):

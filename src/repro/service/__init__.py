@@ -1,0 +1,59 @@
+"""``repro.service``: an online flash-read serving layer.
+
+The batch entry points (:meth:`repro.ssd.ssd.Ssd.run_trace` /
+``run_closed_loop``) replay a trace once and exit; this package makes the
+simulated device behave like one under sustained load — concurrent
+synthetic clients, admission control with shed accounting, a voltage-offset
+cache that starts reads at remembered sentinel inferences, a background
+scrubber that keeps that cache warm during die idle gaps, and per-client
+SLO monitoring.  Everything runs on the deterministic virtual clock of
+:class:`repro.ssd.events.EventQueue`: the same seed produces a
+bit-identical :class:`~repro.service.report.ServiceReport`.
+
+See ``docs/SERVICE.md`` for the architecture and ``repro serve`` for the
+CLI entry point.
+"""
+
+from repro.service.broker import FlashReadService, ServiceConfig
+from repro.service.profiles import (
+    COLD,
+    WARM,
+    measure_service_profiles,
+    sentinel_hint_fn,
+    synthetic_profiles,
+)
+from repro.service.report import ServiceReport
+from repro.service.scrubber import ScrubberConfig, SentinelScrubber
+from repro.service.slo import SloMonitor
+from repro.service.voltage_cache import (
+    CacheEntry,
+    VoltageCacheConfig,
+    VoltageOffsetCache,
+)
+from repro.service.workload import (
+    ClientSpec,
+    ServiceRequest,
+    generate_requests,
+    mixed_scenario,
+)
+
+__all__ = [
+    "FlashReadService",
+    "ServiceConfig",
+    "ServiceReport",
+    "ClientSpec",
+    "ServiceRequest",
+    "generate_requests",
+    "mixed_scenario",
+    "VoltageOffsetCache",
+    "VoltageCacheConfig",
+    "CacheEntry",
+    "SentinelScrubber",
+    "ScrubberConfig",
+    "SloMonitor",
+    "measure_service_profiles",
+    "synthetic_profiles",
+    "sentinel_hint_fn",
+    "COLD",
+    "WARM",
+]

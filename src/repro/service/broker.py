@@ -1,0 +1,407 @@
+"""The request broker and die scheduler: the online serving engine.
+
+``FlashReadService`` turns the one-shot batch simulator into a long-lived
+device under load, on the same deterministic virtual clock
+(:class:`repro.ssd.events.EventQueue`):
+
+* **admission** — client requests enter through one broker; a global
+  outstanding-request limit plus per-die queue limits give explicit
+  backpressure, and requests over either limit are *shed* (counted per
+  client, emitted as ``shed`` events);
+* **per-die queues** — each die serves one operation chain at a time from
+  a FIFO; chains of one request run in parallel across dies and the
+  request completes when its last chain does;
+* **voltage cache** — every read consults the
+  :class:`~repro.service.voltage_cache.VoltageOffsetCache`; a hit samples
+  the *warm* retry profile (the read starts at the cached offsets), a miss
+  samples the *cold* one and stores the inference the sentinel flow
+  produced during the read;
+* **scrubber** — dies that stay idle past a threshold refresh their
+  stalest cache entries in bounded passes
+  (:class:`~repro.service.scrubber.SentinelScrubber`);
+* **SLO monitor** — every lifecycle transition lands in the
+  :class:`~repro.service.slo.SloMonitor`.
+
+Timing follows :class:`repro.ssd.timing.NandTiming`; a die's chain holds
+the die for sense+transfer of each op (channel contention is folded into
+the die occupancy — the serving layer trades the two-resource model of
+``Ssd`` for queue-level control, see ``docs/SERVICE.md``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.flash.spec import FlashSpec
+from repro.obs import OBS
+from repro.service.profiles import COLD, WARM
+from repro.service.report import ServiceReport
+from repro.service.scrubber import ScrubberConfig, SentinelScrubber
+from repro.service.slo import SloMonitor
+from repro.service.voltage_cache import (
+    CacheKey,
+    VoltageCacheConfig,
+    VoltageOffsetCache,
+)
+from repro.service.workload import ClientSpec, ServiceRequest, generate_requests
+from repro.ssd.config import SsdConfig
+from repro.ssd.events import EventQueue
+from repro.ssd.ftl import PageMappingFtl, PhysicalOp
+from repro.ssd.retry_model import RetryProfile
+from repro.ssd.timing import NandTiming
+from repro.util.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Broker admission and feature switches."""
+
+    admit_limit: int = 64  # outstanding requests across all clients
+    die_queue_limit: int = 16  # pending chains per die
+    cache_enabled: bool = True
+    scrub_enabled: bool = True
+    slo_window_us: float = 250_000.0
+
+    def __post_init__(self) -> None:
+        if self.admit_limit < 1:
+            raise ValueError("admit_limit must be positive")
+        if self.die_queue_limit < 1:
+            raise ValueError("die_queue_limit must be positive")
+
+
+class _InFlight:
+    """One admitted request: issue time + unfinished chain count."""
+
+    __slots__ = ("request", "issue_us", "remaining")
+
+    def __init__(self, request: ServiceRequest, issue_us: float, chains: int):
+        self.request = request
+        self.issue_us = issue_us
+        self.remaining = chains
+
+
+class _DieLane:
+    """FIFO of op chains plus the busy flag of one die."""
+
+    __slots__ = ("index", "queue", "busy", "busy_us")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.queue: Deque[Tuple[_InFlight, List[PhysicalOp]]] = deque()
+        self.busy = False
+        self.busy_us = 0.0
+
+
+class FlashReadService:
+    """A deterministic online serving layer over the discrete-event SSD."""
+
+    def __init__(
+        self,
+        spec: FlashSpec,
+        ssd_config: SsdConfig,
+        timing: NandTiming,
+        profiles: Dict[str, RetryProfile],
+        seed: int = 0,
+        config: Optional[ServiceConfig] = None,
+        cache_config: Optional[VoltageCacheConfig] = None,
+        scrub_config: Optional[ScrubberConfig] = None,
+    ) -> None:
+        if COLD not in profiles:
+            raise ValueError(f"profiles must contain a {COLD!r} entry")
+        self.spec = spec
+        self.ssd_config = ssd_config
+        self.timing = timing
+        self.profiles = profiles
+        self.seed = seed
+        self.config = config or ServiceConfig()
+        if self.config.cache_enabled and WARM not in profiles:
+            raise ValueError(
+                f"cache enabled but profiles lack a {WARM!r} entry"
+            )
+        self.ftl = PageMappingFtl(ssd_config, seed=seed)
+        self.rng = derive_rng(seed, "service", "retries")
+        self.queue = EventQueue()
+        self.cache = VoltageOffsetCache(cache_config)
+        self.scrubber = SentinelScrubber(
+            scrub_config or ScrubberConfig(), self.cache, timing
+        )
+        self.slo = SloMonitor(self.config.slo_window_us)
+        self._lanes = [_DieLane(d) for d in range(ssd_config.n_dies)]
+        #: erase count per (die, block) — the P/E signal of drift invalidation
+        self._erases: Dict[Tuple[int, int], int] = {}
+        self.retry_histogram: Dict[int, int] = {}
+        self._outstanding = 0
+        self._remaining = 0
+        self._closed_pending: Dict[str, Deque[ServiceRequest]] = {}
+        self._client_mode: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def _wrap(self, lpn: int) -> int:
+        return lpn % len(self.ftl.mapping)
+
+    def _page_type(self, op: PhysicalOp) -> int:
+        return op.page % self.spec.pages_per_wordline
+
+    def _cache_key(self, op: PhysicalOp) -> CacheKey:
+        wordline = op.page // self.spec.pages_per_wordline
+        layer = wordline // self.spec.wordlines_per_layer
+        return (op.die, op.block, layer)
+
+    def _pe_of(self, key: CacheKey) -> int:
+        return self._erases.get((key[0], key[1]), 0)
+
+    # ------------------------------------------------------------------
+    # scenario entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, clients: Sequence[ClientSpec], scenario: str = "custom"
+    ) -> ServiceReport:
+        """Serve every client's request stream to completion."""
+        names = [c.name for c in clients]
+        if len(set(names)) != len(names):
+            raise ValueError("client names must be unique")
+        all_requests: Dict[str, List[ServiceRequest]] = {
+            c.name: generate_requests(c, seed=self.seed) for c in clients
+        }
+        self._client_mode = {c.name: c.mode for c in clients}
+        # precondition the union footprint so reads hit mapped pages
+        touched = set()
+        for requests in all_requests.values():
+            for req in requests:
+                for k in range(req.n_pages):
+                    touched.add(self._wrap(req.lpn + k))
+        self.ftl.precondition(sorted(touched))
+
+        self._remaining = sum(len(r) for r in all_requests.values())
+        for client in clients:
+            requests = all_requests[client.name]
+            if client.mode == "poisson":
+                for req in requests:
+                    self.queue.schedule(
+                        req.arrival_us, lambda r=req: self._issue(r)
+                    )
+            else:
+                pending = deque(requests)
+                self._closed_pending[client.name] = pending
+                for _ in range(min(client.queue_depth, len(pending))):
+                    self.queue.schedule(
+                        0.0, lambda n=client.name: self._issue_next_closed(n)
+                    )
+        self.queue.run()
+        return self._report(scenario)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _issue_next_closed(self, client: str) -> None:
+        pending = self._closed_pending.get(client)
+        if pending:
+            self._issue(pending.popleft())
+
+    def _target_dies(self, req: ServiceRequest) -> List[int]:
+        """Predict the die of each page's chain without mutating the FTL."""
+        dies = []
+        for k in range(req.n_pages):
+            lpn = self._wrap(req.lpn + k)
+            if req.is_read:
+                loc = self.ftl.translate(lpn)
+                # preconditioned up front, so reads always resolve
+                dies.append(loc[0] if loc else self.ftl.peek_write_die(0))
+            else:
+                dies.append(self.ftl.peek_write_die(k))
+        return dies
+
+    def _issue(self, req: ServiceRequest) -> None:
+        self.slo.record_issue(req.client)
+        if self._outstanding >= self.config.admit_limit:
+            self._shed(req)
+            return
+        per_die = Counter(self._target_dies(req))
+        for die, count in per_die.items():
+            if len(self._lanes[die].queue) + count > self.config.die_queue_limit:
+                self._shed(req)
+                return
+        chains: List[List[PhysicalOp]] = []
+        for k in range(req.n_pages):
+            lpn = self._wrap(req.lpn + k)
+            ops = (
+                self.ftl.read_ops(lpn) if req.is_read
+                else self.ftl.write_ops(lpn)
+            )
+            chains.append(ops)
+        self._outstanding += 1
+        inflight = _InFlight(req, issue_us=self.queue.now, chains=len(chains))
+        for ops in chains:
+            lane = self._lanes[ops[0].die]
+            lane.queue.append((inflight, ops))
+            if not lane.busy:
+                self._start_next(lane)
+
+    def _shed(self, req: ServiceRequest) -> None:
+        self.slo.record_shed(req.client, self.queue.now, req.is_read)
+        self._request_done(req)
+
+    def _request_done(self, req: ServiceRequest) -> None:
+        """Common tail of completion and shed: refill closed-loop clients."""
+        self._remaining -= 1
+        if self._client_mode.get(req.client) == "closed":
+            # scheduled (not called) so deep shed chains cannot recurse
+            self.queue.schedule(
+                self.queue.now,
+                lambda n=req.client: self._issue_next_closed(n),
+            )
+
+    # ------------------------------------------------------------------
+    # die service
+    # ------------------------------------------------------------------
+    def _start_next(self, lane: _DieLane) -> None:
+        if lane.busy:
+            return
+        if not lane.queue:
+            if (
+                self.config.scrub_enabled
+                and self.config.cache_enabled
+                and self._remaining > 0
+            ):
+                self.queue.schedule_after(
+                    self.scrubber.config.idle_delay_us,
+                    lambda: self._scrub_check(lane),
+                )
+            return
+        inflight, ops = lane.queue.popleft()
+        lane.busy = True
+        duration = sum(self._op_duration_us(op) for op in ops)
+        lane.busy_us += duration
+        self.queue.schedule_after(
+            duration, lambda: self._chain_done(lane, inflight)
+        )
+
+    def _op_duration_us(self, op: PhysicalOp) -> float:
+        t = self.timing
+        if op.kind == "read":
+            return self._read_duration_us(op)
+        if op.kind == "program":
+            return t.t_transfer_us + t.t_program_us
+        if op.kind == "erase":
+            self._erases[(op.die, op.block)] = (
+                self._erases.get((op.die, op.block), 0) + 1
+            )
+            return t.t_erase_us
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _read_duration_us(self, op: PhysicalOp) -> float:
+        key = self._cache_key(op)
+        hit = False
+        if self.config.cache_enabled:
+            entry = self.cache.lookup(key, self.queue.now, self._pe_of(key))
+            hit = entry is not None
+            if OBS.enabled:
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_service_cache_lookups_total",
+                        help="voltage-cache lookups by outcome",
+                        result="hit" if hit else "miss",
+                    ).inc()
+                if OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "cache_hit" if hit else "cache_miss",
+                        die=key[0], block=key[1], layer=key[2],
+                        ts=self.queue.now, gc=op.gc,
+                    )
+        profile = self.profiles[WARM if hit else COLD]
+        ptype = self._page_type(op)
+        retries, extra = profile.sample(ptype, self.rng)
+        self.retry_histogram[retries] = (
+            self.retry_histogram.get(retries, 0) + 1
+        )
+        if self.config.cache_enabled and not hit:
+            # the cold read's sentinel flow inferred the offset; remember it
+            self.cache.put(key, 0.0, self.queue.now, self._pe_of(key))
+        n_voltages = profile.page_voltages[ptype]
+        return self.timing.read_us(n_voltages, retries, extra)
+
+    def _chain_done(self, lane: _DieLane, inflight: _InFlight) -> None:
+        lane.busy = False
+        inflight.remaining -= 1
+        if inflight.remaining == 0:
+            req = inflight.request
+            latency = self.queue.now - inflight.issue_us
+            self._outstanding -= 1
+            self.slo.record_completion(
+                req.client, self.queue.now, latency, req.is_read
+            )
+            self._request_done(req)
+        self._start_next(lane)
+
+    # ------------------------------------------------------------------
+    # background scrubbing
+    # ------------------------------------------------------------------
+    def _scrub_check(self, lane: _DieLane) -> None:
+        """Idle-gap hook: start a bounded scrub pass if the die is still
+        idle.  Not re-armed here on an empty candidate list — the next
+        busy->idle transition re-arms, so a drained simulation terminates."""
+        if lane.busy or lane.queue or self._remaining == 0:
+            return
+        keys = self.scrubber.candidates(lane.index, self.queue.now)
+        if not keys:
+            return
+        lane.busy = True
+        duration = self.scrubber.pass_duration_us(len(keys))
+        lane.busy_us += duration
+        self.queue.schedule_after(
+            duration, lambda: self._scrub_done(lane, keys)
+        )
+
+    def _scrub_done(self, lane: _DieLane, keys: List[CacheKey]) -> None:
+        self.scrubber.complete_pass(
+            lane.index,
+            keys,
+            offset_of=self.cache.peek_offset,
+            end_us=self.queue.now,
+            pe_of=self._pe_of,
+        )
+        lane.busy = False
+        self._start_next(lane)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _report(self, scenario: str) -> ServiceReport:
+        horizon = self.queue.now
+        utilization = (
+            sum(lane.busy_us for lane in self._lanes)
+            / (horizon * len(self._lanes))
+            if horizon > 0 else 0.0
+        )
+        extras = {
+            "gc_writes": float(self.ftl.gc_writes),
+            "gc_erases": float(self.ftl.gc_erases),
+            "write_amplification": float(self.ftl.write_amplification),
+            "outstanding_at_end": float(self._outstanding),
+        }
+        if OBS.enabled and OBS.metrics.enabled:
+            OBS.metrics.gauge(
+                "repro_service_cache_hit_rate",
+                help="voltage-cache hit rate over the run",
+            ).set(self.cache.hit_rate)
+        return ServiceReport(
+            scenario=scenario,
+            seed=self.seed,
+            horizon_us=horizon,
+            cache_enabled=self.config.cache_enabled,
+            scrub_enabled=self.config.scrub_enabled,
+            clients=self.slo.summary(horizon),
+            windows={
+                name: self.slo.window_series(name)
+                for name in sorted(self.slo.clients)
+            },
+            cache=self.cache.stats() if self.config.cache_enabled else {},
+            scrub=self.scrubber.stats() if self.config.scrub_enabled else {},
+            retry_histogram=dict(self.retry_histogram),
+            die_utilization=utilization,
+            extras=extras,
+        )

@@ -1,0 +1,117 @@
+"""Background sentinel scrubber: keep the voltage cache warm in idle gaps.
+
+RARO-style reliability work in device idle time: when a die's queue drains
+and stays empty for ``idle_delay_us``, the scrubber refreshes the stalest
+voltage-cache entries of that die — one single-voltage sentinel readout
+plus transfer per entry, the cheapest operation the chip offers.  Passes
+are bounded to ``batch`` entries, so a foreground read arriving mid-pass
+waits at most ``preemption_bound_us`` (the explicit contract the broker's
+scheduler enforces by never starting a pass longer than that).
+
+The scrubber itself is pure policy + accounting; the broker owns the event
+queue and die state and calls in:
+
+* :meth:`candidates` — which entries a pass should refresh (stalest first,
+  hotness as tie-break, deterministic order);
+* :meth:`pass_duration_us` — how long the die is occupied;
+* :meth:`complete_pass` — apply the refreshes and emit ``scrub_pass``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.obs import OBS
+from repro.service.voltage_cache import CacheKey, VoltageOffsetCache
+from repro.ssd.timing import NandTiming
+
+
+@dataclass(frozen=True)
+class ScrubberConfig:
+    """Idle-gap detection and pass sizing."""
+
+    #: how long a die must sit idle before a pass starts
+    idle_delay_us: float = 500.0
+    #: entries refreshed per pass (bounds foreground preemption)
+    batch: int = 4
+
+    def __post_init__(self) -> None:
+        if self.idle_delay_us < 0:
+            raise ValueError("idle_delay_us must be non-negative")
+        if self.batch < 1:
+            raise ValueError("batch must be positive")
+
+
+class SentinelScrubber:
+    """Refreshes cache entries with cheap single-voltage sentinel reads."""
+
+    def __init__(
+        self,
+        config: ScrubberConfig,
+        cache: VoltageOffsetCache,
+        timing: NandTiming,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        #: one refresh = a single-voltage sense plus the readout transfer
+        self.entry_cost_us = timing.sense_us(1) + timing.t_transfer_us
+        self.passes = 0
+        self.entries_refreshed = 0
+        self.busy_us = 0.0
+
+    @property
+    def preemption_bound_us(self) -> float:
+        """The longest a foreground op can wait behind a scrub pass."""
+        return self.config.batch * self.entry_cost_us
+
+    # ------------------------------------------------------------------
+    def candidates(self, die: int, now_us: float) -> List[CacheKey]:
+        """Entries of one die due for refresh this pass (may be empty)."""
+        return self.cache.scrub_candidates(die, now_us, self.config.batch)
+
+    def pass_duration_us(self, n_entries: int) -> float:
+        return n_entries * self.entry_cost_us
+
+    def complete_pass(
+        self,
+        die: int,
+        keys: List[CacheKey],
+        offset_of,
+        end_us: float,
+        pe_of,
+    ) -> None:
+        """Apply one finished pass: revalidate entries, account, emit.
+
+        ``offset_of(key)`` supplies the re-inferred sentinel offset and
+        ``pe_of(key)`` the block's current erase count — both provided by
+        the broker, which owns device state."""
+        duration = self.pass_duration_us(len(keys))
+        for key in keys:
+            self.cache.refresh(key, offset_of(key), end_us, pe_of(key))
+        self.passes += 1
+        self.entries_refreshed += len(keys)
+        self.busy_us += duration
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_service_scrub_refreshes_total",
+                    help="voltage-cache entries refreshed by the scrubber",
+                ).inc(len(keys))
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "scrub_pass",
+                    die=die,
+                    refreshed=len(keys),
+                    start=end_us - duration,
+                    end=end_us,
+                )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "passes": self.passes,
+            "entries_refreshed": self.entries_refreshed,
+            "busy_us": self.busy_us,
+            "preemption_bound_us": self.preemption_bound_us,
+        }

@@ -1,0 +1,161 @@
+"""Per-client SLO monitoring: latency percentiles and windowed throughput.
+
+The monitor is the accounting half of the serving layer: every admission,
+shed, and completion lands here, keyed by client.  It produces
+
+* per-client **p50/p99/p999 read latency** (via
+  :class:`repro.ssd.metrics.LatencyStats`, which already rejects NaN/inf);
+* a **sliding-window time series** — completions bucketed into fixed
+  virtual-time windows, each reporting IOPS and the window's p99 read
+  latency — the view that shows scrubber/GC interference over time;
+* ``repro.obs`` metrics (counters per client/op, a latency histogram) and
+  the ``shed`` event kind when admission drops a request.
+
+Everything is deterministic: windows are aligned to virtual time zero and
+all aggregation is order-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.obs import OBS
+from repro.ssd.metrics import LatencyStats
+
+
+@dataclass
+class ClientAccount:
+    """Raw per-client accounting (latencies in microseconds)."""
+
+    issued: int = 0
+    completed: int = 0
+    shed: int = 0
+    read_latencies_us: List[float] = field(default_factory=list)
+    write_latencies_us: List[float] = field(default_factory=list)
+    #: completion timestamps, parallel to reads+writes interleaved
+    completion_times_us: List[float] = field(default_factory=list)
+    #: (time, latency) of read completions, for windowed p99
+    read_completions: List[tuple] = field(default_factory=list)
+
+    @property
+    def read_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.read_latencies_us)
+
+    @property
+    def write_stats(self) -> LatencyStats:
+        return LatencyStats.from_samples(self.write_latencies_us)
+
+
+class SloMonitor:
+    """Folds the broker's lifecycle callbacks into per-client SLO views."""
+
+    def __init__(self, window_us: float = 250_000.0) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = window_us
+        self.clients: Dict[str, ClientAccount] = {}
+
+    def _account(self, client: str) -> ClientAccount:
+        if client not in self.clients:
+            self.clients[client] = ClientAccount()
+        return self.clients[client]
+
+    # ------------------------------------------------------------------
+    # lifecycle callbacks (broker-driven)
+    # ------------------------------------------------------------------
+    def record_issue(self, client: str) -> None:
+        self._account(client).issued += 1
+
+    def record_shed(self, client: str, now_us: float, is_read: bool) -> None:
+        self._account(client).shed += 1
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_service_shed_total",
+                    help="requests dropped by admission control",
+                    client=client,
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "shed", client=client, ts=now_us, read=is_read
+                )
+
+    def record_completion(
+        self, client: str, now_us: float, latency_us: float, is_read: bool
+    ) -> None:
+        acct = self._account(client)
+        acct.completed += 1
+        acct.completion_times_us.append(now_us)
+        if is_read:
+            acct.read_latencies_us.append(latency_us)
+            acct.read_completions.append((now_us, latency_us))
+        else:
+            acct.write_latencies_us.append(latency_us)
+        if OBS.enabled and OBS.metrics.enabled:
+            m = OBS.metrics
+            m.counter(
+                "repro_service_requests_total",
+                help="requests completed by the serving layer",
+                client=client, op="read" if is_read else "write",
+            ).inc()
+            if is_read:
+                m.histogram(
+                    "repro_service_read_latency_us",
+                    help="end-to-end read latency (admission to completion)",
+                    client=client,
+                ).observe(latency_us)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def window_series(self, client: str) -> List[Dict[str, float]]:
+        """Fixed virtual-time windows: completions/s and read p99 each.
+
+        Windows align to virtual time zero; empty windows are kept (zeroed)
+        so the series length is the horizon in windows, not the activity."""
+        acct = self.clients.get(client)
+        if acct is None or not acct.completion_times_us:
+            return []
+        w = self.window_us
+        last = max(acct.completion_times_us)
+        n_windows = int(last // w) + 1
+        counts = [0] * n_windows
+        read_lats: List[List[float]] = [[] for _ in range(n_windows)]
+        for t in acct.completion_times_us:
+            counts[int(t // w)] += 1
+        for t, lat in acct.read_completions:
+            read_lats[int(t // w)].append(lat)
+        series = []
+        for i in range(n_windows):
+            stats = LatencyStats.from_samples(read_lats[i])
+            series.append({
+                "window_start_us": i * w,
+                "iops": counts[i] / (w / 1e6),
+                "read_p99_us": stats.p99_us,
+            })
+        return series
+
+    def summary(self, horizon_us: float) -> Dict[str, Dict[str, float]]:
+        """JSON-ready per-client summary for the service report."""
+        out: Dict[str, Dict[str, float]] = {}
+        seconds = horizon_us / 1e6 if horizon_us > 0 else 0.0
+        for name in sorted(self.clients):
+            acct = self.clients[name]
+            reads = acct.read_stats
+            writes = acct.write_stats
+            out[name] = {
+                "issued": acct.issued,
+                "completed": acct.completed,
+                "shed": acct.shed,
+                "iops": acct.completed / seconds if seconds else 0.0,
+                "read_count": reads.count,
+                "read_mean_us": reads.mean_us,
+                "read_p50_us": reads.median_us,
+                "read_p99_us": reads.p99_us,
+                "read_p999_us": reads.p999_us,
+                "write_count": writes.count,
+                "write_mean_us": writes.mean_us,
+                "write_p99_us": writes.p99_us,
+            }
+        return out

@@ -1,0 +1,192 @@
+"""Voltage-offset cache: remembered sentinel inferences per (die, block, layer).
+
+The paper's sentinel mechanism infers a near-optimal sentinel-voltage offset
+*during* a failed read; wordlines of one layer share process characteristics
+(the layer-similarity observation), so that inference is worth remembering at
+(die, block, layer) granularity and reusing as the ``hint`` of the next read
+— which then starts at the inferred voltages instead of the defaults and
+usually decodes with zero retries.
+
+Cached offsets go stale two ways, and the cache invalidates on both:
+
+* **age in virtual time** — retention drift moves the optimum; an entry
+  older than ``ttl_us`` is dropped on lookup;
+* **P/E delta** — once the block is erased and reprogrammed the old offsets
+  describe dead data; an entry whose stored erase count trails the block's
+  current one by more than ``max_pe_delta`` is dropped.
+
+Capacity is bounded with LRU eviction so a large drive cannot grow the
+cache without bound.  All bookkeeping is deterministic (insertion-ordered
+dict, no wall-clock anywhere) — the serving layer's reports must be
+bit-identical across runs of the same seed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Cache key: (die, block-within-die, layer-within-block).
+CacheKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class VoltageCacheConfig:
+    """Sizing and drift-invalidation knobs."""
+
+    capacity: int = 4096
+    #: age bound in virtual microseconds (retention-drift invalidation)
+    ttl_us: float = 2_000_000.0
+    #: entries whose block gained more than this many erases are stale
+    max_pe_delta: int = 0
+    #: the scrubber refreshes entries older than this fraction of the TTL
+    refresh_age_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be positive")
+        if self.ttl_us <= 0:
+            raise ValueError("ttl_us must be positive")
+        if self.max_pe_delta < 0:
+            raise ValueError("max_pe_delta must be non-negative")
+        if not 0.0 < self.refresh_age_fraction <= 1.0:
+            raise ValueError("refresh_age_fraction must be in (0, 1]")
+
+    @property
+    def refresh_age_us(self) -> float:
+        return self.refresh_age_fraction * self.ttl_us
+
+
+@dataclass
+class CacheEntry:
+    """One remembered sentinel inference."""
+
+    offset: float  # sentinel-voltage offset in voltage steps
+    stored_us: float  # virtual time of the inference / last refresh
+    pe_cycles: int  # block erase count when stored
+    hits: int = 0
+
+    def age_us(self, now_us: float) -> float:
+        return now_us - self.stored_us
+
+
+class VoltageOffsetCache:
+    """Bounded LRU map ``(die, block, layer) -> CacheEntry``."""
+
+    def __init__(self, config: Optional[VoltageCacheConfig] = None) -> None:
+        self.config = config or VoltageCacheConfig()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expired = 0  # lookups that found a drift-stale entry
+        self.evicted = 0  # LRU evictions
+        self.refreshed = 0  # scrubber refreshes
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _fresh(self, entry: CacheEntry, now_us: float, pe_cycles: int) -> bool:
+        c = self.config
+        if entry.age_us(now_us) > c.ttl_us:
+            return False
+        return (pe_cycles - entry.pe_cycles) <= c.max_pe_delta
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: CacheKey, now_us: float, pe_cycles: int
+    ) -> Optional[CacheEntry]:
+        """The entry for ``key`` if present and still valid, else None.
+
+        A stale entry (too old, or the block was erased since) is removed
+        and counted in ``expired``; both absence and staleness count as a
+        miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not self._fresh(entry, now_us, pe_cycles):
+            del self._entries[key]
+            self.expired += 1
+            self.misses += 1
+            return None
+        entry.hits += 1
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(
+        self, key: CacheKey, offset: float, now_us: float, pe_cycles: int
+    ) -> None:
+        """Store a freshly inferred offset (replacing any prior entry)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = CacheEntry(
+            offset=float(offset), stored_us=now_us, pe_cycles=pe_cycles
+        )
+        while len(self._entries) > self.config.capacity:
+            self._entries.popitem(last=False)
+            self.evicted += 1
+
+    def refresh(
+        self, key: CacheKey, offset: float, now_us: float, pe_cycles: int
+    ) -> None:
+        """Scrubber path: re-inferred offset revalidates the entry in place
+        (hit count survives so hotness keeps informing scrub order)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.put(key, offset, now_us, pe_cycles)
+        else:
+            entry.offset = float(offset)
+            entry.stored_us = now_us
+            entry.pe_cycles = pe_cycles
+        self.refreshed += 1
+
+    # ------------------------------------------------------------------
+    def scrub_candidates(
+        self, die: int, now_us: float, limit: int
+    ) -> List[CacheKey]:
+        """Up to ``limit`` entries of one die worth refreshing, stalest
+        first (ties broken by hotness, then key, for determinism).
+
+        Only entries older than ``refresh_age_us`` qualify — refreshing a
+        young entry buys nothing; entries past the TTL still qualify, since
+        a refresh re-infers from the block's *current* state and
+        revalidates them."""
+        min_age = self.config.refresh_age_us
+        due = [
+            (entry.stored_us, -entry.hits, key)
+            for key, entry in self._entries.items()
+            if key[0] == die and entry.age_us(now_us) >= min_age
+        ]
+        due.sort()
+        return [key for _, _, key in due[:limit]]
+
+    def peek_offset(self, key: CacheKey, default: float = 0.0) -> float:
+        """The stored offset of ``key`` without freshness checks or stats
+        (used by the scrubber, which revalidates regardless of staleness)."""
+        entry = self._entries.get(key)
+        return entry.offset if entry is not None else default
+
+    # ------------------------------------------------------------------
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """JSON-ready counters for the service report."""
+        return {
+            "entries": len(self._entries),
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "refreshed": self.refreshed,
+        }

@@ -1,0 +1,140 @@
+"""Synthetic service clients: open-loop Poisson and closed-loop fixed-QD.
+
+A serving scenario is a list of :class:`ClientSpec`; each client owns a
+partition of the logical address space and issues page-granular requests:
+
+* **open-loop** (``mode="poisson"``): arrivals follow a Poisson process at
+  ``mean_iops`` in *virtual* time, independent of completions — the shape
+  that exposes shed/backpressure behaviour under bursts;
+* **closed-loop** (``mode="closed"``): ``queue_depth`` requests are kept
+  outstanding, a new one issuing the moment one completes — the shape that
+  measures the device's throughput limit.
+
+All randomness is drawn up front from :func:`repro.util.rng.derive_rng`
+streams keyed by (seed, client name), so a scenario is a pure function of
+its seed — the determinism guarantee the service report depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.traces.synthetic import bounded_zipf_pages
+from repro.util.rng import derive_rng
+
+MODES = ("poisson", "closed")
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One synthetic client of the serving layer."""
+
+    name: str
+    mode: str = "poisson"
+    n_requests: int = 1000
+    read_fraction: float = 1.0
+    mean_iops: float = 2000.0  # poisson mode: arrival rate, virtual seconds
+    queue_depth: int = 4  # closed mode: outstanding requests
+    footprint_pages: int = 4096  # logical pages this client touches
+    base_lpn: int = 0  # start of the client's logical partition
+    zipf_theta: float = 0.7
+    max_pages_per_request: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if self.mean_iops <= 0:
+            raise ValueError("mean_iops must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if self.footprint_pages < 1 or self.base_lpn < 0:
+            raise ValueError("footprint/base_lpn must be non-negative")
+        if not 0.0 <= self.zipf_theta < 1.0:
+            raise ValueError("zipf_theta must be in [0, 1)")
+        if self.max_pages_per_request < 1:
+            raise ValueError("max_pages_per_request must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One page-granular request of a client."""
+
+    client: str
+    index: int
+    is_read: bool
+    lpn: int  # first logical page
+    n_pages: int
+    arrival_us: Optional[float]  # None for closed-loop requests
+
+
+def generate_requests(spec: ClientSpec, seed: int = 0) -> List[ServiceRequest]:
+    """All requests of one client, deterministic in (spec, seed).
+
+    Open-loop requests carry absolute arrival times (microseconds of
+    virtual time); closed-loop requests carry ``arrival_us=None`` and are
+    issued by the broker as completions free queue slots.
+    """
+    rng = derive_rng(seed, "service", spec.name)
+    n = spec.n_requests
+    is_read = rng.random(n) < spec.read_fraction
+    pages = bounded_zipf_pages(rng, spec.footprint_pages, spec.zipf_theta, n)
+    sizes = rng.integers(1, spec.max_pages_per_request + 1, size=n)
+    if spec.mode == "poisson":
+        gaps_us = rng.exponential(1e6 / spec.mean_iops, size=n)
+        arrivals: List[Optional[float]] = list(np.cumsum(gaps_us))
+    else:
+        arrivals = [None] * n
+    return [
+        ServiceRequest(
+            client=spec.name,
+            index=i,
+            is_read=bool(is_read[i]),
+            lpn=spec.base_lpn + int(pages[i]),
+            n_pages=int(sizes[i]),
+            arrival_us=arrivals[i],
+        )
+        for i in range(n)
+    ]
+
+
+def mixed_scenario(
+    n_requests: int = 800,
+    read_iops: float = 4000.0,
+    footprint_pages: int = 2048,
+) -> Tuple[ClientSpec, ClientSpec]:
+    """The default 2-client mixed workload of ``repro serve``.
+
+    A latency-sensitive open-loop reader (the "online" traffic) shares the
+    device with a closed-loop mixed read/write client (the "batch" load
+    that keeps dies busy and ages blocks via GC).
+    """
+    online = ClientSpec(
+        name="online-read",
+        mode="poisson",
+        n_requests=n_requests,
+        read_fraction=1.0,
+        mean_iops=read_iops,
+        footprint_pages=footprint_pages,
+        base_lpn=0,
+        zipf_theta=0.8,
+        max_pages_per_request=2,
+    )
+    batch = ClientSpec(
+        name="batch-mixed",
+        mode="closed",
+        n_requests=n_requests // 2,
+        read_fraction=0.5,
+        queue_depth=4,
+        footprint_pages=footprint_pages,
+        base_lpn=footprint_pages,
+        zipf_theta=0.6,
+        max_pages_per_request=4,
+    )
+    return online, batch

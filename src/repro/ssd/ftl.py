@@ -160,6 +160,12 @@ class PageMappingFtl:
         self.mapping[lpn] = self._pack(die_index, block, page)
         return PhysicalOp(kind="program", die=die_index, block=block, page=page)
 
+    def peek_write_die(self, k: int = 0) -> int:
+        """Die the ``k``-th upcoming write will land on (round-robin
+        pointer); lets the serving layer's broker predict target dies for
+        backpressure checks without mutating FTL state."""
+        return (self._next_die + k) % self.config.n_dies
+
     def write_ops(self, lpn: int, count_host: bool = True) -> List[PhysicalOp]:
         """Ops to serve a host write: the program plus any GC it triggers."""
         if not 0 <= lpn < len(self.mapping):

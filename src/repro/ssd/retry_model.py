@@ -11,7 +11,7 @@ block, then replays i.i.d. samples per simulated read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,8 +38,17 @@ class RetryProfile:
         block: int = 0,
         wordlines: Optional[Sequence[int]] = None,
         pages: Optional[Sequence[int]] = None,
+        hint_fn: Optional[Callable[..., float]] = None,
+        name: Optional[str] = None,
     ) -> "RetryProfile":
-        """Measure a policy on one (aged) block of the chip model."""
+        """Measure a policy on one (aged) block of the chip model.
+
+        ``hint_fn(wordline)`` supplies a cached sentinel-voltage offset per
+        wordline, passed as the ``hint`` of every read — this is how the
+        serving layer measures its *warm* profile (reads that start from a
+        voltage-cache hit) alongside the cold one.  ``name`` overrides the
+        stored policy name so both profiles stay distinguishable.
+        """
         spec = chip.spec
         if wordlines is None:
             step = max(1, spec.wordlines_per_block // 64)
@@ -52,8 +61,9 @@ class RetryProfile:
             p: len(spec.gray.page_voltages(p)) for p in page_list
         }
         for wl in chip.iter_wordlines(block, wordlines):
+            hint = hint_fn(wl) if hint_fn is not None else None
             for p in page_list:
-                outcome = policy.read(wl, p)
+                outcome = policy.read(wl, p, hint=hint)
                 collected[p].append(
                     (outcome.retries, outcome.extra_single_reads)
                 )
@@ -68,7 +78,7 @@ class RetryProfile:
                         success=bool(outcome.success),
                     )
         return cls(
-            policy_name=policy.name,
+            policy_name=name or policy.name,
             page_voltages=voltages,
             samples={
                 p: np.asarray(v, dtype=np.int64) for p, v in collected.items()

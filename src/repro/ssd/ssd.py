@@ -23,7 +23,7 @@ import numpy as np
 from repro.flash.spec import FlashSpec
 from repro.obs import OBS
 from repro.ssd.config import SsdConfig
-from repro.ssd.events import Resource
+from repro.ssd.events import EventQueue, Resource
 from repro.ssd.ftl import PageMappingFtl, PhysicalOp
 from repro.ssd.metrics import SimulationReport
 from repro.ssd.retry_model import RetryProfile
@@ -241,9 +241,12 @@ class Ssd:
         one of the outstanding requests completes.  This measures the
         device's *throughput* limit (reported in ``extras['iops']``) and the
         latency under saturation — where read retries hurt the most.
-        """
-        import heapq
 
+        Admission runs on an :class:`~repro.ssd.events.EventQueue`: each
+        request schedules a completion event, and when the device is at
+        ``queue_depth`` the loop steps virtual time forward to the earliest
+        completion before issuing the next request.
+        """
         if precondition:
             touched = set()
             for req in trace.requests[: max_requests or len(trace.requests)]:
@@ -254,14 +257,18 @@ class Ssd:
         read_lat: List[float] = []
         write_lat: List[float] = []
         host_reads = host_writes = 0
-        outstanding: List[float] = []  # completion times
         requests = trace.requests[: max_requests or len(trace.requests)]
-        last_completion = 0.0
+        queue = EventQueue()
+        outstanding = 0
+
+        def _request_completed() -> None:
+            nonlocal outstanding
+            outstanding -= 1
+
         for req in requests:
-            if len(outstanding) >= queue_depth:
-                issue_us = heapq.heappop(outstanding)
-            else:
-                issue_us = 0.0
+            while outstanding >= queue_depth and queue.step():
+                pass  # advance to the earliest completion to free a slot
+            issue_us = queue.now
             completion = issue_us
             for lpn in self._lpns_of(req.lba_bytes, req.size_bytes):
                 lpn = self._wrap(lpn)
@@ -273,8 +280,8 @@ class Ssd:
                 for op in ops:
                     op_time = self._schedule_op(op, op_time)
                 completion = max(completion, op_time)
-            heapq.heappush(outstanding, completion)
-            last_completion = max(last_completion, completion)
+            outstanding += 1
+            queue.schedule(completion, _request_completed)
             latency = completion - issue_us
             if req.is_read:
                 read_lat.append(latency)
@@ -282,6 +289,7 @@ class Ssd:
             else:
                 write_lat.append(latency)
                 host_writes += 1
+        last_completion = queue.run()  # drain the tail of in-flight requests
         report = self._report(
             trace, read_lat, write_lat, host_reads, host_writes,
             last_completion / 1e6,

@@ -86,7 +86,7 @@ MSR_WORKLOADS: Dict[str, WorkloadParams] = {
 }
 
 
-def _bounded_zipf_pages(
+def bounded_zipf_pages(
     rng: np.random.Generator, n_pages: int, theta: float, count: int
 ) -> np.ndarray:
     """Skewed page ranks via the bounded-Zipf inverse-CDF approximation.
@@ -133,7 +133,7 @@ def generate_workload(
 
     # --- ops, addresses, sizes -------------------------------------------
     is_read = rng.random(n_requests) < params.read_fraction
-    pages = _bounded_zipf_pages(rng, n_pages, params.zipf_theta, n_requests)
+    pages = bounded_zipf_pages(rng, n_pages, params.zipf_theta, n_requests)
     sizes_kb = rng.choice(
         params.size_choices_kb, size=n_requests, p=params.size_weights
     )

@@ -174,3 +174,59 @@ class TestFigureCommand:
         out = capsys.readouterr().out
         assert "mean optimal offset" in out
         assert "reduction" in out
+
+
+class TestServeCommand:
+    def test_smoke_runs_and_writes_json(self, tmp_path, capsys):
+        out_json = tmp_path / "serve.json"
+        code = main([
+            "serve", "--smoke", "--seed", "3",
+            "--requests", "120", "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "service report" in out
+        assert "voltage cache" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["seed"] == 3
+        assert payload["cache_enabled"] is True
+        assert set(payload["clients"]) == {"online-read", "batch-mixed"}
+
+    def test_smoke_is_deterministic(self, tmp_path):
+        reports = []
+        for name in ("a.json", "b.json"):
+            path = tmp_path / name
+            assert main([
+                "serve", "--smoke", "--seed", "9",
+                "--requests", "120", "--json", str(path),
+            ]) == 0
+            reports.append(path.read_text())
+        assert reports[0] == reports[1]
+
+    def test_no_cache_flag(self, tmp_path):
+        path = tmp_path / "nc.json"
+        assert main([
+            "serve", "--smoke", "--requests", "120",
+            "--no-cache", "--no-scrub", "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["cache_enabled"] is False
+        assert payload["cache"] == {}
+
+    def test_serve_exports_obs_trace(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "serve.jsonl"
+        try:
+            code = main([
+                "serve", "--smoke", "--requests", "120",
+                "--obs-trace", str(trace),
+            ])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert code == 0
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "serving layer" in out
+        assert "voltage cache" in out

@@ -1,0 +1,328 @@
+"""The online serving layer: cache, scrubber, SLO monitor, broker, report."""
+
+import json
+
+import pytest
+
+from repro.exp.common import sim_spec
+from repro.service import (
+    COLD,
+    WARM,
+    ClientSpec,
+    FlashReadService,
+    ScrubberConfig,
+    ServiceConfig,
+    SloMonitor,
+    VoltageCacheConfig,
+    VoltageOffsetCache,
+    generate_requests,
+    mixed_scenario,
+    synthetic_profiles,
+)
+from repro.ssd.config import SsdConfig
+from repro.ssd.timing import NandTiming
+
+SPEC = sim_spec("tlc", cells_per_wordline=4096)
+SSD_CONFIG = SsdConfig(
+    channels=2, dies_per_channel=2, blocks_per_die=64, pages_per_block=64
+)
+
+
+def make_service(seed=7, config=None, cache_config=None, scrub_config=None):
+    return FlashReadService(
+        spec=SPEC,
+        ssd_config=SSD_CONFIG,
+        timing=NandTiming(),
+        profiles=synthetic_profiles("tlc"),
+        seed=seed,
+        config=config,
+        cache_config=cache_config,
+        scrub_config=scrub_config,
+    )
+
+
+def run_mixed(seed=7, config=None, cache_config=None, n_requests=200,
+              read_iops=4000.0):
+    clients = mixed_scenario(
+        n_requests=n_requests, read_iops=read_iops, footprint_pages=512
+    )
+    svc = make_service(seed=seed, config=config, cache_config=cache_config)
+    return svc.run(list(clients), scenario="test")
+
+
+# ---------------------------------------------------------------------------
+# voltage-offset cache
+# ---------------------------------------------------------------------------
+class TestVoltageCache:
+    KEY = (0, 3, 5)
+
+    def test_miss_then_hit(self):
+        cache = VoltageOffsetCache()
+        assert cache.lookup(self.KEY, 0.0, 0) is None
+        cache.put(self.KEY, -2.0, 10.0, 0)
+        entry = cache.lookup(self.KEY, 20.0, 0)
+        assert entry is not None and entry.offset == -2.0
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_ttl_expiry(self):
+        cache = VoltageOffsetCache(VoltageCacheConfig(ttl_us=100.0))
+        cache.put(self.KEY, 1.0, 0.0, 0)
+        assert cache.lookup(self.KEY, 100.0, 0) is not None  # at the bound
+        cache.put(self.KEY, 1.0, 0.0, 0)
+        assert cache.lookup(self.KEY, 100.1, 0) is None
+        assert cache.expired == 1
+        # the stale entry was removed, not just skipped
+        assert len(cache) == 0
+
+    def test_pe_delta_invalidation(self):
+        cache = VoltageOffsetCache(VoltageCacheConfig(max_pe_delta=0))
+        cache.put(self.KEY, 1.0, 0.0, pe_cycles=4)
+        assert cache.lookup(self.KEY, 1.0, pe_cycles=4) is not None
+        assert cache.lookup(self.KEY, 2.0, pe_cycles=5) is None
+        assert cache.expired == 1
+
+    def test_lru_eviction(self):
+        cache = VoltageOffsetCache(VoltageCacheConfig(capacity=2))
+        cache.put((0, 0, 0), 1.0, 0.0, 0)
+        cache.put((0, 0, 1), 1.0, 1.0, 0)
+        cache.lookup((0, 0, 0), 2.0, 0)  # touch: (0,0,1) becomes LRU
+        cache.put((0, 0, 2), 1.0, 3.0, 0)
+        assert cache.evicted == 1
+        assert cache.peek_offset((0, 0, 1), default=99.0) == 99.0
+        assert cache.peek_offset((0, 0, 0), default=99.0) == 1.0
+
+    def test_scrub_candidates_stalest_first_one_die_only(self):
+        cache = VoltageOffsetCache(
+            VoltageCacheConfig(ttl_us=100.0, refresh_age_fraction=0.5)
+        )
+        cache.put((0, 0, 0), 1.0, 0.0, 0)   # stalest
+        cache.put((0, 0, 1), 1.0, 20.0, 0)
+        cache.put((1, 0, 0), 1.0, 0.0, 0)   # other die: excluded
+        cache.put((0, 0, 2), 1.0, 60.0, 0)  # age 40 < 50: not due
+        keys = cache.scrub_candidates(die=0, now_us=100.0, limit=8)
+        assert keys == [(0, 0, 0), (0, 0, 1)]
+        assert cache.scrub_candidates(die=0, now_us=100.0, limit=1) == [(0, 0, 0)]
+
+    def test_refresh_revalidates_past_ttl(self):
+        cache = VoltageOffsetCache(VoltageCacheConfig(ttl_us=100.0))
+        cache.put(self.KEY, 1.0, 0.0, 0)
+        cache.refresh(self.KEY, -3.0, 500.0, 0)
+        entry = cache.lookup(self.KEY, 550.0, 0)
+        assert entry is not None and entry.offset == -3.0
+        assert cache.refreshed == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VoltageCacheConfig(capacity=0)
+        with pytest.raises(ValueError):
+            VoltageCacheConfig(ttl_us=0.0)
+        with pytest.raises(ValueError):
+            VoltageCacheConfig(refresh_age_fraction=0.0)
+
+
+# ---------------------------------------------------------------------------
+# workload generation
+# ---------------------------------------------------------------------------
+class TestWorkload:
+    def test_poisson_arrivals_monotone_and_deterministic(self):
+        spec = mixed_scenario(n_requests=50)[0]
+        a = generate_requests(spec, seed=3)
+        b = generate_requests(spec, seed=3)
+        assert [r.arrival_us for r in a] == [r.arrival_us for r in b]
+        arrivals = [r.arrival_us for r in a]
+        assert arrivals == sorted(arrivals)
+        assert all(r.is_read for r in a)
+
+    def test_closed_client_has_no_arrivals(self):
+        spec = mixed_scenario(n_requests=50)[1]
+        reqs = generate_requests(spec, seed=3)
+        assert all(r.arrival_us is None for r in reqs)
+        assert 0 < sum(r.is_read for r in reqs) < len(reqs)
+
+    def test_footprints_stay_disjoint(self):
+        reader, batch = mixed_scenario(n_requests=50, footprint_pages=256)
+        for req in generate_requests(reader, seed=1):
+            assert 0 <= req.lpn < 256
+        for req in generate_requests(batch, seed=1):
+            assert 256 <= req.lpn < 512
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClientSpec(name="x", mode="open")  # unknown mode
+        with pytest.raises(ValueError):
+            ClientSpec(name="x", mode="poisson", read_fraction=2.0)
+
+
+# ---------------------------------------------------------------------------
+# SLO monitor
+# ---------------------------------------------------------------------------
+class TestSloMonitor:
+    def test_summary_percentiles(self):
+        slo = SloMonitor(window_us=100.0)
+        for i in range(100):
+            slo.record_issue("a")
+            slo.record_completion("a", now_us=float(i), latency_us=float(i + 1),
+                                 is_read=True)
+        summary = slo.summary(horizon_us=100.0)["a"]
+        assert summary["issued"] == 100
+        assert summary["completed"] == 100
+        assert summary["read_p50_us"] == pytest.approx(50.5, abs=1.0)
+        assert summary["read_p99_us"] >= summary["read_p50_us"]
+        assert summary["iops"] == pytest.approx(1e6)  # 100 in 100 us
+
+    def test_shed_accounting(self):
+        slo = SloMonitor(window_us=100.0)
+        slo.record_issue("a")
+        slo.record_shed("a", now_us=1.0, is_read=True)
+        summary = slo.summary(horizon_us=100.0)["a"]
+        assert summary["shed"] == 1 and summary["completed"] == 0
+
+    def test_window_series_keeps_empty_windows(self):
+        slo = SloMonitor(window_us=10.0)
+        for now in (1.0, 25.0):
+            slo.record_issue("a")
+            slo.record_completion("a", now_us=now, latency_us=5.0, is_read=True)
+        series = slo.window_series("a")
+        assert len(series) == 3  # [0,10), [10,20) empty, [20,30)
+        assert series[1]["iops"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# the serving engine
+# ---------------------------------------------------------------------------
+class TestFlashReadService:
+    def test_same_seed_bit_identical_report(self):
+        a = run_mixed(seed=11).to_json()
+        b = run_mixed(seed=11).to_json()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        assert run_mixed(seed=11).to_json() != run_mixed(seed=12).to_json()
+
+    def test_report_json_round_trips(self):
+        report = run_mixed()
+        payload = json.loads(report.to_json())
+        assert payload["scenario"] == "test"
+        assert set(payload["clients"]) == {"online-read", "batch-mixed"}
+
+    def test_all_requests_accounted(self):
+        report = run_mixed()
+        for stats in report.clients.values():
+            assert stats["issued"] == stats["completed"] + stats["shed"]
+
+    def test_cache_reduces_mean_retries(self):
+        on = run_mixed(config=ServiceConfig(cache_enabled=True))
+        off = run_mixed(config=ServiceConfig(cache_enabled=False))
+        assert on.cache["hit_rate"] > 0.5
+        assert on.mean_retries_per_read < off.mean_retries_per_read
+        assert off.cache == {}
+
+    def test_admission_limit_sheds(self):
+        overloaded = run_mixed(
+            config=ServiceConfig(admit_limit=2, die_queue_limit=1),
+            read_iops=50000.0,
+        )
+        assert overloaded.shed_total > 0
+        assert overloaded.completed_total + overloaded.shed_total == sum(
+            s["issued"] for s in overloaded.clients.values()
+        )
+
+    def test_scrubber_improves_hit_rate_under_drift(self):
+        # short TTL so entries drift-expire within the run; low load so
+        # dies have idle gaps for the scrubber to use
+        cache_config = VoltageCacheConfig(ttl_us=30_000.0)
+        clients = mixed_scenario(
+            n_requests=300, read_iops=600.0, footprint_pages=256
+        )
+        scrubbed = make_service(
+            config=ServiceConfig(scrub_enabled=True),
+            cache_config=cache_config,
+        ).run(list(clients), scenario="drift")
+        plain = make_service(
+            config=ServiceConfig(scrub_enabled=False),
+            cache_config=cache_config,
+        ).run(list(clients), scenario="drift")
+        assert scrubbed.scrub["passes"] > 0
+        assert scrubbed.cache["hit_rate"] > plain.cache["hit_rate"]
+        assert scrubbed.mean_retries_per_read < plain.mean_retries_per_read
+
+    def test_scrub_pass_bounded_by_preemption_bound(self):
+        scrub_config = ScrubberConfig(idle_delay_us=100.0, batch=4)
+        svc = make_service(
+            cache_config=VoltageCacheConfig(ttl_us=30_000.0),
+            scrub_config=scrub_config,
+        )
+        clients = mixed_scenario(
+            n_requests=300, read_iops=600.0, footprint_pages=256
+        )
+        report = svc.run(list(clients), scenario="drift")
+        passes = report.scrub["passes"]
+        assert passes > 0
+        bound = report.scrub["preemption_bound_us"]
+        assert report.scrub["busy_us"] <= passes * bound + 1e-9
+
+    def test_requires_cold_profile(self):
+        profiles = synthetic_profiles("tlc")
+        with pytest.raises(ValueError):
+            FlashReadService(
+                spec=SPEC, ssd_config=SSD_CONFIG, timing=NandTiming(),
+                profiles={WARM: profiles[WARM]},
+            )
+
+    def test_cache_needs_warm_profile(self):
+        profiles = synthetic_profiles("tlc")
+        with pytest.raises(ValueError):
+            FlashReadService(
+                spec=SPEC, ssd_config=SSD_CONFIG, timing=NandTiming(),
+                profiles={COLD: profiles[COLD]},
+                config=ServiceConfig(cache_enabled=True),
+            )
+        # cache off: cold alone suffices
+        FlashReadService(
+            spec=SPEC, ssd_config=SSD_CONFIG, timing=NandTiming(),
+            profiles={COLD: profiles[COLD]},
+            config=ServiceConfig(cache_enabled=False, scrub_enabled=False),
+        )
+
+    def test_duplicate_client_names_rejected(self):
+        svc = make_service()
+        reader = mixed_scenario(n_requests=10)[0]
+        with pytest.raises(ValueError):
+            svc.run([reader, reader])
+
+
+# ---------------------------------------------------------------------------
+# chip-level hint plumbing (what the warm profile measures)
+# ---------------------------------------------------------------------------
+class TestSentinelHint:
+    def test_hint_none_matches_default_flow(self):
+        from repro.core.controller import SentinelController
+        from repro.exp.common import default_ecc, eval_chip, trained_model
+
+        chip = eval_chip("tlc", cells_per_wordline=4096)
+        policy = SentinelController(default_ecc("tlc"), trained_model("tlc"))
+        wl = chip.wordline(0, 8)
+        plain = policy.read(wl, "MSB")
+        explicit = policy.read(wl, "MSB", hint=None)
+        assert (plain.retries, plain.extra_single_reads) == (
+            explicit.retries, explicit.extra_single_reads
+        )
+
+    def test_good_hint_shaves_retries(self):
+        from repro.core.controller import SentinelController
+        from repro.exp.common import default_ecc, eval_chip, trained_model
+        from repro.service.profiles import sentinel_hint_fn
+
+        chip = eval_chip("tlc", cells_per_wordline=4096)
+        model = trained_model("tlc")
+        policy = SentinelController(default_ecc("tlc"), model)
+        hint_fn = sentinel_hint_fn(model)
+        cold = warm = 0
+        wordlines = range(0, chip.spec.wordlines_per_block, 12)
+        for wl in chip.iter_wordlines(0, wordlines):
+            hint = hint_fn(wl)
+            for page in range(chip.spec.pages_per_wordline):
+                cold += policy.read(wl, page).retries
+                warm += policy.read(wl, page, hint=hint).retries
+        assert warm < cold

@@ -1,6 +1,8 @@
 """Event queue and resource scheduling."""
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.ssd.events import EventQueue, Resource
 
@@ -49,6 +51,76 @@ class TestEventQueue:
 
     def test_step_on_empty(self):
         assert EventQueue().step() is False
+
+
+times = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEventQueueProperties:
+    @given(schedule=st.lists(times, min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_fires_in_time_order_stable_at_ties(self, schedule):
+        """Events fire sorted by time; equal timestamps keep FIFO order —
+        i.e. the firing order is exactly the stable sort of the schedule."""
+        q = EventQueue()
+        log = []
+        for i, t in enumerate(schedule):
+            q.schedule(t, lambda i=i, t=t: log.append((t, i)))
+        q.run()
+        assert log == sorted(
+            ((t, i) for i, t in enumerate(schedule)),
+            key=lambda pair: pair[0],  # stable: ties stay in insertion order
+        )
+        assert q.now == max(schedule)
+
+    @given(
+        first=times,
+        offset=st.floats(min_value=1e-6, max_value=1e6,
+                         allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scheduling_into_the_past_raises(self, first, offset):
+        assume(first + offset > first)  # offset must survive float rounding
+        q = EventQueue()
+        q.schedule(first + offset, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(first, lambda: None)
+        # the failed schedule must not have corrupted the queue
+        assert len(q) == 0
+        q.schedule(q.now, lambda: None)  # now itself is always legal
+        q.run()
+
+    @given(delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=50,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_after_is_monotone(self, delays):
+        """Chained ``schedule_after`` calls observe a non-decreasing clock
+        equal to the running sum of the delays."""
+        q = EventQueue()
+        observed = []
+        it = iter(delays)
+
+        def chain():
+            observed.append(q.now)
+            delay = next(it, None)
+            if delay is not None:
+                q.schedule_after(delay, chain)
+
+        q.schedule_after(next(it), chain)
+        q.run()
+        assert observed == sorted(observed)
+        totals = []
+        acc = 0.0
+        for d in delays:
+            acc += d
+            totals.append(acc)
+        assert observed == pytest.approx(totals)
 
 
 class TestResource:
