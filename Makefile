@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench examples figures serve-smoke clean
+.PHONY: install test lint bench bench-smoke examples figures serve-smoke clean
 
 install:
 	pip install -e .[test]
@@ -13,6 +13,9 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke --check --json benchmarks/BENCH_core.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

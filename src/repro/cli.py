@@ -12,6 +12,9 @@ Commands
 ``overhead``      sentinel space-overhead report for a chip/ratio.
 ``figure``        run one paper-figure driver and print its rows.
 ``stats``         summarize an exported observability JSONL trace.
+``bench``         core read-path benchmark: wordline read throughput plus
+                  serial-vs-parallel profile measurement (``--smoke`` for
+                  CI); writes ``BENCH_core.json``.
 
 Global flags: ``-v`` raises verbosity, ``-q`` silences informational
 output; ``simulate``/``read`` accept ``--obs-trace``/``--obs-prom`` to
@@ -102,6 +105,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         blocks=(0,),
         stresses=training_stresses(args.kind),
         wordlines=range(0, spec.wordlines_per_block, args.wordline_step),
+        workers=args.workers,
     )
     result.model.save(args.out)
     resid = np.abs(result.inference_residuals()).mean()
@@ -218,7 +222,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         echo(f"measuring cold/warm sentinel profiles on the aged "
              f"{args.kind} evaluation block ...")
-        profiles = measure_service_profiles(args.kind)
+        profiles = measure_service_profiles(args.kind, workers=args.workers)
         n_requests = args.requests
         scenario = "mixed"
     clients = mixed_scenario(
@@ -272,6 +276,151 @@ def cmd_stats(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     echo(render(stats, width=args.width))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the core read path and the engine's fan-out.
+
+    Three measurements land in the JSON report:
+
+    * wordline read throughput (page reads per second on one aged wordline);
+    * wall-clock of a serial ``RetryProfile.measure`` sweep;
+    * wall-clock of the same sweep with ``--workers`` processes, plus a
+      byte-equality verdict of the two sample sets.
+
+    ``--check`` turns the determinism contract into an exit status: any
+    sample mismatch fails, and (on multi-CPU hosts only) a parallel run
+    slower than serial fails too.
+    """
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.ecc.capability import CapabilityEcc
+    from repro.engine import available_workers
+    from repro.flash.chip import FlashChip
+    from repro.flash.mechanisms import StressState
+    from repro.ssd.retry_model import RetryProfile
+
+    cpu = available_workers()
+    workers = args.workers if args.workers and args.workers > 0 else cpu
+    cells = args.cells
+    if args.smoke:
+        # big enough that the fan-out's pool startup amortizes on a 2-CPU
+        # CI runner, small enough to finish in a couple of seconds
+        n_wordlines, n_reads = 24, 48
+    else:
+        n_wordlines, n_reads = 32, 96
+    spec = _spec(args.kind, cells)
+    ecc = CapabilityEcc.for_spec(spec)
+    stress = StressState(pe_cycles=3000, retention_hours=4000.0)
+    if args.smoke:
+        # model-free policy: no 5s characterization fit before the timings
+        from repro.retry.current_flash import CurrentFlashPolicy
+
+        policy = CurrentFlashPolicy(ecc, spec)
+    else:
+        from repro.core.controller import SentinelController
+        from repro.exp.common import trained_model
+
+        echo(f"fitting the {args.kind} sentinel model (cached per process) ...")
+        policy = SentinelController(ecc, trained_model(args.kind))
+
+    def bench_chip() -> FlashChip:
+        chip = FlashChip(spec, seed=args.seed, sentinel_ratio=0.002)
+        chip.set_block_stress(0, stress)
+        return chip
+
+    # -- wordline read throughput --------------------------------------
+    wl = bench_chip().wordline(0, 0)
+    pages = list(range(spec.pages_per_wordline))
+    for p in pages:  # warm the per-wordline caches like a steady state read
+        wl.read_page(p)
+    t0 = time.perf_counter()
+    for i in range(n_reads):
+        wl.read_page(pages[i % len(pages)])
+    read_seconds = time.perf_counter() - t0
+    reads_per_sec = n_reads / read_seconds if read_seconds > 0 else float("inf")
+
+    # -- profile measurement: serial vs parallel -----------------------
+    wordlines = range(0, spec.wordlines_per_block,
+                      max(1, spec.wordlines_per_block // n_wordlines))
+    t0 = time.perf_counter()
+    serial = RetryProfile.measure(
+        bench_chip(), policy, wordlines=wordlines, workers=1
+    )
+    serial_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = RetryProfile.measure(
+        bench_chip(), policy, wordlines=wordlines, workers=workers
+    )
+    parallel_seconds = time.perf_counter() - t0
+    identical = all(
+        np.array_equal(serial.samples[p], parallel.samples[p])
+        for p in serial.samples
+    )
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+
+    report = {
+        "bench": "repro-core",
+        "kind": args.kind,
+        "mode": "smoke" if args.smoke else "full",
+        "policy": policy.name,
+        "cells_per_wordline": cells,
+        "cpu_available": cpu,
+        "workers": workers,
+        "wordline_read": {
+            "reads": n_reads,
+            "seconds": round(read_seconds, 6),
+            "reads_per_sec": round(reads_per_sec, 1),
+        },
+        "profile_measure": {
+            "wordlines": len(list(wordlines)),
+            "pages_per_wordline": spec.pages_per_wordline,
+            "serial_seconds": round(serial_seconds, 6),
+            "parallel_seconds": round(parallel_seconds, 6),
+            "speedup": round(speedup, 3),
+            "identical_samples": identical,
+        },
+    }
+    echo(
+        f"wordline read: {reads_per_sec:,.0f} reads/s   "
+        f"measure: serial {serial_seconds:.2f}s, "
+        f"x{workers} workers {parallel_seconds:.2f}s "
+        f"(speedup {speedup:.2f}, samples "
+        f"{'identical' if identical else 'DIFFER'})"
+    )
+    if args.json:
+        # keep the committed pre-PR reference measurements, if any, so
+        # re-running the bench never erases the historical comparison
+        try:
+            with open(args.json, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh).get("baseline_pre_pr")
+        except (OSError, ValueError):
+            baseline = None
+        if baseline is not None:
+            report["baseline_pre_pr"] = baseline
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro bench: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"bench report -> {args.json}")
+    if args.check:
+        if not identical:
+            print("repro bench: FAIL: parallel samples differ from serial",
+                  file=sys.stderr)
+            return 1
+        if cpu >= 2 and workers >= 2 and speedup < 1.0:
+            print(f"repro bench: FAIL: parallel slower than serial "
+                  f"(speedup {speedup:.2f} on {cpu} CPUs)", file=sys.stderr)
+            return 1
+        echo("bench check: ok")
     return 0
 
 
@@ -353,6 +502,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cells per simulated wordline")
         p.add_argument("--seed", type=int, default=1)
 
+    def add_workers(p, default=1):
+        p.add_argument(
+            "--workers", type=int, default=default, metavar="N",
+            help="worker processes for the deterministic fan-out engine "
+                 "(<=1: serial; results are byte-identical either way)",
+        )
+
     def add_obs(p):
         p.add_argument(
             "--obs-trace", metavar="PATH",
@@ -370,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help="output model JSON path")
     p.add_argument("--ratio", type=float, default=0.002)
     p.add_argument("--wordline-step", type=int, default=4)
+    add_workers(p)
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("read", help="serve one page read with every policy")
@@ -415,8 +572,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the background sentinel scrubber")
     p.add_argument("--json", metavar="PATH",
                    help="write the canonical JSON service report here")
+    add_workers(p)
     add_obs(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "bench",
+        help="core read-path benchmark (throughput + engine speedup)",
+    )
+    add_common(p)
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="small model-free configuration for CI (a few seconds)",
+    )
+    p.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if parallel samples differ from serial, or if "
+             "fan-out is slower than serial on a multi-CPU host",
+    )
+    p.add_argument("--json", metavar="PATH",
+                   default="benchmarks/BENCH_core.json",
+                   help="bench report path (empty string disables)")
+    add_workers(p, default=0)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("overhead", help="sentinel space-overhead report")
     p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="qlc")

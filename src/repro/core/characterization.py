@@ -17,12 +17,14 @@ correlation tables (Section III-D).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.fitting import fit_difference_polynomial, fit_linear_correlations
 from repro.core.models import CorrelationTable, SentinelModel
+from repro.engine import ParallelMap, plan_wordline_shards
 from repro.flash.chip import FlashChip
 from repro.flash.mechanisms import StressState
 from repro.flash.optimal import optimal_offsets
@@ -58,6 +60,43 @@ class CharacterizationResult:
         return predicted - self.sentinel_optima
 
 
+@dataclass(frozen=True)
+class _CharShard:
+    """One (stress, block, wordline run) unit of the training sweep."""
+
+    stress: StressState
+    block: int
+    wordlines: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class _CharTask:
+    """Chip identity a worker rebuilds its shard's wordlines from."""
+
+    spec: object
+    seed: int
+    sentinel_ratio: float
+
+
+def _characterize_shard(task: _CharTask, shard: _CharShard) -> List[tuple]:
+    """Collect (d rate, ground-truth optima) rows for one shard.
+
+    Both measurements are pure functions of the wordline identity: the
+    sentinel readout consumes the wordline's own fresh read-noise stream
+    and the optimal search is noiseless, so rebuilding the chip here yields
+    exactly the samples the caller's chip would.
+    """
+    chip = FlashChip(
+        task.spec, task.seed, task.sentinel_ratio, cache_wordlines=1
+    )
+    chip.set_block_stress(shard.block, shard.stress)
+    rows: List[tuple] = []
+    for wl in chip.iter_wordlines(shard.block, shard.wordlines):
+        readout = wl.sentinel_readout(0.0)
+        rows.append((readout.difference_rate, optimal_offsets(wl)))
+    return rows
+
+
 def characterize_chip(
     chip: FlashChip,
     blocks: Sequence[int] = (0, 1),
@@ -65,32 +104,59 @@ def characterize_chip(
     wordlines: Optional[Sequence[int]] = None,
     degree: int = 5,
     temp_bin_edges: Sequence[float] = DEFAULT_TEMP_BINS,
+    workers: int = 1,
 ) -> CharacterizationResult:
     """Run the full characterization sweep and fit a :class:`SentinelModel`.
 
     ``wordlines`` restricts the sweep (default: every wordline of each
     block); hundreds of (d, V_opt) pairs are plenty, per the paper.
+
+    ``workers > 1`` fans the sweep out over :class:`repro.engine.ParallelMap`
+    in canonical (stress, block, wordline) order; the collected samples —
+    and therefore the fitted model — are byte-identical to a serial run.
     """
     if chip.sentinel_ratio <= 0:
         raise ValueError("characterization requires a chip with sentinel cells")
     spec = chip.spec
+    wl_indices = (
+        tuple(wordlines)
+        if wordlines is not None
+        else tuple(range(spec.wordlines_per_block))
+    )
+    shards: List[_CharShard] = []
+    for stress in stresses:
+        for block in blocks:
+            for plan in plan_wordline_shards(block, wl_indices, workers):
+                shards.append(_CharShard(stress, block, plan.wordlines))
+    task = _CharTask(
+        spec=spec, seed=chip.seed, sentinel_ratio=chip.sentinel_ratio
+    )
+    engine = ParallelMap(workers=workers)
+    per_shard = engine.run(
+        partial(_characterize_shard, task), shards, label="characterize"
+    )
+
     d_rates: List[float] = []
     optima_rows: List[np.ndarray] = []
     temps: List[float] = []
     labels: List[str] = []
+    for shard, rows in zip(shards, per_shard):
+        stress = shard.stress
+        label = (
+            f"pe={stress.pe_cycles},ret={stress.retention_hours}h,"
+            f"T={stress.temperature_c}C"
+        )
+        for d_rate, optima_row in rows:
+            d_rates.append(d_rate)
+            optima_rows.append(optima_row)
+            temps.append(stress.temperature_c)
+            labels.append(label)
 
-    for stress in stresses:
+    # the serial sweep left every swept block at the last stress; keep that
+    # contract for callers that reuse the chip afterwards
+    if len(shards) > 0:
         for block in blocks:
-            chip.set_block_stress(block, stress)
-            for wl in chip.iter_wordlines(block, wordlines):
-                readout = wl.sentinel_readout(0.0)
-                d_rates.append(readout.difference_rate)
-                optima_rows.append(optimal_offsets(wl))
-                temps.append(stress.temperature_c)
-                labels.append(
-                    f"pe={stress.pe_cycles},ret={stress.retention_hours}h,"
-                    f"T={stress.temperature_c}C"
-                )
+            chip.set_block_stress(block, stresses[-1])
 
     d_arr = np.asarray(d_rates)
     optima = np.vstack(optima_rows)

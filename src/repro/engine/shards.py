@@ -1,0 +1,86 @@
+"""Shard planning: how a wordline sweep splits across workers.
+
+A *shard* is a contiguous run of wordline indices of one block, in sweep
+order.  Contiguity matters for cache behaviour, but the determinism
+contract only needs two properties:
+
+* every wordline appears in exactly one shard, and the concatenation of
+  the shards in list order reproduces the input order (the *canonical
+  shard order* the engine merges by);
+* all randomness consumed inside a shard derives from the seed tree keyed
+  by the wordline identity (``(chip_seed, stream, block, index)``), never
+  from a stream shared across shards.
+
+The chip model already satisfies the second property — every
+:class:`~repro.flash.wordline.Wordline` owns its streams — so shard
+workers simply rebuild their wordlines from the chip seed.  Consumers
+that need *additional* shard-scoped randomness derive it with
+:func:`shard_rng`, which hangs off the same seed tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.util.rng import derive_rng
+
+#: Shards planned per worker: small enough to keep per-shard pickling
+#: overhead negligible, large enough that an unlucky slow shard (a
+#: wordline needing many retries) does not serialize the whole pool.
+SHARDS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class WordlineShard:
+    """A contiguous run of wordline indices of one block."""
+
+    block: int
+    wordlines: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.wordlines)
+
+
+def plan_wordline_shards(
+    block: int,
+    wordlines: Iterable[int],
+    workers: int,
+    shards_per_worker: int = SHARDS_PER_WORKER,
+) -> List[WordlineShard]:
+    """Split a wordline sweep into canonical-order shards.
+
+    With ``workers <= 1`` the plan is a single shard (the serial path);
+    otherwise up to ``workers * shards_per_worker`` near-equal contiguous
+    chunks.  Concatenating ``shard.wordlines`` in list order always
+    reproduces the input order exactly.
+    """
+    indices = list(wordlines)
+    if not indices:
+        return []
+    if workers <= 1:
+        return [WordlineShard(block=block, wordlines=tuple(indices))]
+    n_shards = max(1, min(len(indices), workers * max(1, shards_per_worker)))
+    base, rem = divmod(len(indices), n_shards)
+    shards: List[WordlineShard] = []
+    start = 0
+    for k in range(n_shards):
+        size = base + (1 if k < rem else 0)
+        shards.append(
+            WordlineShard(block=block, wordlines=tuple(indices[start:start + size]))
+        )
+        start += size
+    return shards
+
+
+def shard_rng(chip_seed: int, stream: str, shard: WordlineShard) -> np.random.Generator:
+    """An independent generator for shard-scoped randomness.
+
+    Derived from the same seed tree as the wordline streams, keyed by the
+    shard's identity (block plus its exact wordline tuple) — so the stream
+    is stable no matter how many workers run or in which order shards
+    complete.
+    """
+    return derive_rng(chip_seed, "engine", stream, shard.block, shard.wordlines)

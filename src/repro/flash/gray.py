@@ -22,7 +22,7 @@ read".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import Dict, Tuple
 
 import numpy as np
@@ -115,6 +115,75 @@ class GrayCode:
         return int(page)
 
     # ------------------------------------------------------------------
+    # precomputed tables (the per-read hot path never re-derives these;
+    # instances are shared through the lru_cache on ``for_bits``)
+    # ------------------------------------------------------------------
+    @cached_property
+    def _page_voltage_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """``_page_voltage_table[p]``: 1-based voltage indices of page p."""
+        table = []
+        for p in range(self.n_pages):
+            bits = self.state_bits[:, p]
+            toggles = np.nonzero(bits[1:] != bits[:-1])[0] + 1
+            table.append(tuple(int(v) for v in toggles))
+        return tuple(table)
+
+    @cached_property
+    def page_voltage_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Per-page **0-based** voltage index arrays, read-only.
+
+        ``page_voltage_arrays[p]`` indexes directly into dense per-voltage
+        arrays (``spec.default_read_voltages``, offset vectors), which is
+        how :meth:`repro.flash.wordline.Wordline.page_positions` builds the
+        applied thresholds without a per-voltage Python loop.
+        """
+        arrays = []
+        for voltages in self._page_voltage_table:
+            arr = np.asarray(voltages, dtype=np.int64) - 1
+            arr.flags.writeable = False
+            arrays.append(arr)
+        return tuple(arrays)
+
+    @cached_property
+    def _voltage_page_table(self) -> Tuple[int, ...]:
+        """``_voltage_page_table[v-1]``: the page toggling at voltage v."""
+        table = [-1] * self.n_voltages
+        for p, voltages in enumerate(self._page_voltage_table):
+            for v in voltages:
+                table[v - 1] = p
+        if any(p < 0 for p in table):
+            raise AssertionError("every voltage belongs to exactly one page")
+        return tuple(table)
+
+    @cached_property
+    def _region_bits_table(self) -> Tuple[np.ndarray, ...]:
+        """Read-only region-bit pattern per page (see :meth:`region_bits`)."""
+        table = []
+        for p, voltages in enumerate(self._page_voltage_table):
+            reps = [0] + [v for v in voltages]  # lowest state in each region
+            pattern = self.state_bits[reps, p].astype(np.uint8)
+            pattern.flags.writeable = False
+            table.append(pattern)
+        return tuple(table)
+
+    @cached_property
+    def decode_table(self) -> np.ndarray:
+        """Inverse Gray map: packed page-bit key -> state (read-only).
+
+        ``decode_table[k]`` is the state whose page bits, packed LSB-page
+        first (``bit_p << p``), equal ``k``.  Built once per code instead of
+        per :meth:`repro.flash.wordline.Wordline.program_pages` call.
+        """
+        keys = np.zeros(self.n_states, dtype=np.int64)
+        for s in range(self.n_states):
+            for p in range(self.n_pages):
+                keys[s] |= int(self.state_bits[s, p]) << p
+        decode = np.empty(self.n_states, dtype=np.int16)
+        decode[keys] = np.arange(self.n_states, dtype=np.int16)
+        decode.flags.writeable = False
+        return decode
+
+    # ------------------------------------------------------------------
     # page <-> voltage mapping
     # ------------------------------------------------------------------
     def page_voltages(self, page: "int | str") -> Tuple[int, ...]:
@@ -123,31 +192,23 @@ class GrayCode:
         ``V_i`` separates state ``i-1`` from state ``i``; the voltages of a
         page are exactly the state boundaries where its bit toggles.
         """
-        p = self.page_index(page)
-        bits = self.state_bits[:, p]
-        toggles = np.nonzero(bits[1:] != bits[:-1])[0] + 1
-        return tuple(int(v) for v in toggles)
+        return self._page_voltage_table[self.page_index(page)]
 
     def voltage_to_page(self, vindex: int) -> int:
         """The page whose bit toggles at read voltage ``V_vindex``."""
         if not 1 <= vindex <= self.n_voltages:
             raise IndexError(f"voltage index {vindex} out of range")
-        for p in range(self.n_pages):
-            if vindex in self.page_voltages(p):
-                return p
-        raise AssertionError("every voltage belongs to exactly one page")
+        return self._voltage_page_table[vindex - 1]
 
     def region_bits(self, page: "int | str") -> np.ndarray:
         """Bit value of ``page`` for each region of its applied voltages.
 
         When reading a page, the applied voltages partition the Vth axis into
         ``len(voltages) + 1`` regions; the readout bit is constant inside a
-        region.  ``region_bits(page)[r]`` is that bit for region ``r``.
+        region.  ``region_bits(page)[r]`` is that bit for region ``r``.  The
+        returned array is a shared read-only table — copy before mutating.
         """
-        p = self.page_index(page)
-        voltages = self.page_voltages(p)
-        reps = [0] + [v for v in voltages]  # lowest state in each region
-        return self.state_bits[reps, p].astype(np.uint8)
+        return self._region_bits_table[self.page_index(page)]
 
     def stored_bits(self, page: "int | str", states: np.ndarray) -> np.ndarray:
         """Bits of ``page`` stored by cells in the given ``states``."""

@@ -17,7 +17,8 @@ agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,3 +124,77 @@ def measured_optimal_offsets(
         dense[v - 1] = offset
         total_reads += reads
     return dense, total_reads
+
+
+# ----------------------------------------------------------------------
+# block-scale sweeps (engine-backed)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SweepTask:
+    """Chip identity + sweep parameters shipped to shard workers."""
+
+    spec: object
+    seed: int
+    sentinel_ratio: float
+    stress: object
+    step: int
+
+
+def _sweep_shard(task: _SweepTask, shard) -> List[Tuple[np.ndarray, int]]:
+    """Sweep every wordline of one shard with its own read-noise stream."""
+    from repro.flash.chip import FlashChip
+
+    chip = FlashChip(
+        task.spec, task.seed, task.sentinel_ratio, cache_wordlines=1
+    )
+    chip.set_block_stress(shard.block, task.stress)
+    rows: List[Tuple[np.ndarray, int]] = []
+    for wl in chip.iter_wordlines(shard.block, shard.wordlines):
+        rows.append(measured_optimal_offsets(wl, step=task.step))
+    return rows
+
+
+def sweep_block_offsets(
+    chip,
+    block: int,
+    wordlines: Optional[Sequence[int]] = None,
+    step: int = 4,
+    workers: int = 1,
+) -> Tuple[np.ndarray, int]:
+    """Measured optimal offsets of every wordline of one block.
+
+    Returns ``(offsets, total_reads)`` where ``offsets[i]`` is the dense
+    per-voltage offset vector of the i-th swept wordline and
+    ``total_reads`` is the block's total sweep cost in sensing operations
+    (the tracking-overhead quantity of the paper's Section I).
+
+    Each wordline's sweep consumes that wordline's *own* read-noise
+    stream, so the result is byte-identical for any ``workers`` value
+    (fan-out via :class:`repro.engine.ParallelMap`).
+    """
+    from repro.engine import ParallelMap, plan_wordline_shards
+
+    spec = chip.spec
+    indices = (
+        tuple(wordlines)
+        if wordlines is not None
+        else tuple(range(spec.wordlines_per_block))
+    )
+    shards = plan_wordline_shards(block, indices, workers)
+    task = _SweepTask(
+        spec=spec,
+        seed=chip.seed,
+        sentinel_ratio=chip.sentinel_ratio,
+        stress=chip.block_stress(block),
+        step=step,
+    )
+    engine = ParallelMap(workers=workers)
+    per_shard = engine.run(
+        partial(_sweep_shard, task), shards, label="block-sweep"
+    )
+    rows = [row for shard_rows in per_shard for row in shard_rows]
+    if not rows:
+        return np.zeros((0, spec.n_voltages)), 0
+    offsets = np.vstack([dense for dense, _ in rows])
+    total_reads = int(sum(reads for _, reads in rows))
+    return offsets, total_reads

@@ -13,6 +13,7 @@ ECC cover data cells only.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -153,11 +154,14 @@ class Wordline:
         self._latents: CellLatents = sample_latents(spec, n, latent_rng)
         self._read_rng = derive_rng(chip_seed, "readnoise", block, index)
 
-        self.stress = stress or StressState()
-        self.vth = synthesize_vth(
-            spec, self.states, self.stress, self.modifiers, self._latents
-        )
+        # caches keyed by (stress, states version); the stored cells only
+        # change through program_pages, which bumps the version
+        self._states_version = 0
+        self._stored_bits_cache: Dict[int, Tuple[int, np.ndarray]] = {}
+        self._vth_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._sorted_by_state: Optional[Dict[int, np.ndarray]] = None
+        self.stress = stress or StressState()
+        self.vth = self._synthesize_cached(self.stress)
 
     # ------------------------------------------------------------------
     # programming user data
@@ -191,19 +195,14 @@ class Wordline:
                     f"got {bits.shape}"
                 )
             code |= (bits.astype(np.int64) & 1) << p
-        # invert the Gray map: bit-tuple -> state
-        keys = np.zeros(spec.n_states, dtype=np.int64)
-        for s in range(spec.n_states):
-            for p in range(spec.pages_per_wordline):
-                keys[s] |= int(gray.state_bits[s, p]) << p
-        decode = np.empty(spec.n_states, dtype=np.int16)
-        decode[keys] = np.arange(spec.n_states, dtype=np.int16)
-        self.states[self._data_mask] = decode[code]
+        self.states[self._data_mask] = gray.decode_table[code]
+        self._states_version += 1
         self.set_stress(self.stress)
 
     def stored_page_bits(self, page: Union[int, str]) -> np.ndarray:
         """The data-cell bits currently stored for one page."""
-        return self.spec.gray.stored_bits(page, self.states)[self._data_mask]
+        p = self.spec.gray.page_index(page)
+        return self._stored_bits(p)[self._data_mask]
 
     # ------------------------------------------------------------------
     # identity / geometry helpers
@@ -224,12 +223,46 @@ class Wordline:
     def sentinel_states(self) -> np.ndarray:
         return self.states[self.sentinel_indices]
 
+    #: Distinct (stress, program state) Vth syntheses remembered per
+    #: wordline.  Small: the common flip-flop is a service/characterization
+    #: loop toggling between a couple of stress points.
+    _VTH_CACHE_SIZE = 4
+
+    def _synthesize_cached(self, stress: StressState) -> np.ndarray:
+        """Memoized ``synthesize_vth`` — a pure function of the cache key.
+
+        The latents and modifiers are fixed at construction and the stored
+        states only change via :meth:`program_pages` (which bumps the
+        version), so ``(stress, states_version)`` determines the Vth array
+        exactly.  The cached array is shared; all readers treat ``vth`` as
+        immutable.
+        """
+        key = (stress, self._states_version)
+        vth = self._vth_cache.get(key)
+        if vth is None:
+            vth = synthesize_vth(
+                self.spec, self.states, stress, self.modifiers, self._latents
+            )
+            self._vth_cache[key] = vth
+            while len(self._vth_cache) > self._VTH_CACHE_SIZE:
+                self._vth_cache.popitem(last=False)
+        else:
+            self._vth_cache.move_to_end(key)
+        return vth
+
+    def _stored_bits(self, p: int) -> np.ndarray:
+        """Stored bits of page ``p`` for all cells, cached per program state."""
+        hit = self._stored_bits_cache.get(p)
+        if hit is not None and hit[0] == self._states_version:
+            return hit[1]
+        bits = self.spec.gray.stored_bits(p, self.states)
+        self._stored_bits_cache[p] = (self._states_version, bits)
+        return bits
+
     def set_stress(self, stress: StressState) -> None:
         """Re-evaluate the same cells under a new stress condition."""
         self.stress = stress
-        self.vth = synthesize_vth(
-            self.spec, self.states, stress, self.modifiers, self._latents
-        )
+        self.vth = self._synthesize_cached(stress)
         self._sorted_by_state = None
 
     # ------------------------------------------------------------------
@@ -240,7 +273,9 @@ class Wordline:
         sigma = self.spec.read_noise_sigma
         if sigma <= 0.0:
             return np.zeros(n, dtype=np.float32)
-        return (sigma * gen.standard_normal(n)).astype(np.float32)
+        draw = gen.standard_normal(n)
+        draw *= sigma  # in-place: same values as sigma * draw, one less temp
+        return draw.astype(np.float32)
 
     def sense_regions(
         self,
@@ -255,25 +290,41 @@ class Wordline:
         two reads at identical voltages can disagree — the paper notes this
         is why even the optimal voltages cannot be matched exactly.
         """
-        positions = np.sort(np.asarray(positions, dtype=np.float64))
+        positions = np.asarray(positions, dtype=np.float64)
+        # callers pass positions in ascending voltage order already; only
+        # pathological offset vectors (larger than a state pitch) unsort
+        # them, so check instead of unconditionally re-sorting per read
+        if positions.size > 1 and np.any(positions[1:] < positions[:-1]):
+            positions = np.sort(positions)
         sensed = self.vth
         if noisy:
-            sensed = sensed + self._noise(self.n_cells, rng)
-        return np.searchsorted(positions, sensed, side="left").astype(np.int16)
+            noise = self._noise(self.n_cells, rng)  # fresh array, ours
+            noise += sensed  # float32 add, same result as sensed + noise
+            sensed = noise
+        # equivalent to np.searchsorted(positions, sensed, side="left") but
+        # ~4-6x faster at these position counts; each comparison promotes
+        # the float32 sensed values to float64 exactly as searchsorted does
+        regions = np.zeros(sensed.shape[0], dtype=np.int16)
+        for p in positions:
+            regions += sensed > p
+        return regions
 
     # ------------------------------------------------------------------
     # page reads
     # ------------------------------------------------------------------
+    def _page_positions_dense(self, p: int, dense: np.ndarray) -> np.ndarray:
+        """Page thresholds from an already-normalized dense offset array."""
+        spec = self.spec
+        idx = spec.gray.page_voltage_arrays[p]
+        return spec.default_read_voltages[idx] + dense[idx]
+
     def page_positions(
         self, page: Union[int, str], offsets: OffsetsLike = None
     ) -> np.ndarray:
         """Absolute threshold positions applied when reading ``page``."""
         spec = self.spec
-        dense = make_offsets(spec, offsets)
-        vindices = spec.gray.page_voltages(page)
-        return np.array(
-            [spec.read_voltage(v, dense[v - 1]) for v in vindices], dtype=np.float64
-        )
+        p = spec.gray.page_index(page)
+        return self._page_positions_dense(p, make_offsets(spec, offsets))
 
     def read_page(
         self,
@@ -285,11 +336,11 @@ class Wordline:
         spec = self.spec
         p = spec.gray.page_index(page)
         dense = make_offsets(spec, offsets)
-        positions = self.page_positions(p, dense)
+        positions = self._page_positions_dense(p, dense)
         regions = self.sense_regions(positions, rng)
         pattern = spec.gray.region_bits(p)
         bits = pattern[regions]
-        stored = spec.gray.stored_bits(p, self.states)
+        stored = self._stored_bits(p)
         mismatch = (bits != stored)[self._data_mask]
         n_err = int(mismatch.sum())
         return ReadResult(

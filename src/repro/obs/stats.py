@@ -10,7 +10,10 @@ into the three views the paper's evaluation keeps coming back to:
 * **die/channel occupancy** — busy microseconds per resource against the
   trace horizon, the utilization view of where read time actually went;
 * the **serving layer** — voltage-cache hits/misses, scrub passes and
-  sheds from ``repro serve`` runs (see :mod:`repro.service`).
+  sheds from ``repro serve`` runs (see :mod:`repro.service`);
+* the **parallel engine** — fan-out runs, shard counts, execution modes
+  and pool utilization from ``shard_dispatch``/``shard_merge`` events
+  (see :mod:`repro.engine`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -53,6 +56,18 @@ class TraceStats:
     scrub_pages_refreshed: int = 0
     #: client name -> requests shed by admission control
     shed_by_client: Dict[str, int] = field(default_factory=dict)
+    # parallel-engine events (repro.engine)
+    engine_dispatches: int = 0
+    engine_shards: int = 0
+    engine_merges: int = 0
+    engine_wall_seconds: float = 0.0
+    engine_busy_seconds: float = 0.0
+    engine_merge_seconds: float = 0.0
+    engine_capacity_seconds: float = 0.0  # sum of workers * wall per run
+    #: execution mode ("serial" / "parallel" / "serial-fallback") -> runs
+    engine_modes: Dict[str, int] = field(default_factory=dict)
+    #: engine run label -> runs
+    engine_labels: Dict[str, int] = field(default_factory=dict)
     #: kinds outside ``EVENT_KINDS`` (traces from newer builds)
     unknown_kinds: Dict[str, int] = field(default_factory=dict)
 
@@ -79,6 +94,13 @@ class TraceStats:
     @property
     def shed_requests(self) -> int:
         return sum(self.shed_by_client.values())
+
+    @property
+    def engine_utilization(self) -> float:
+        """Busy fraction of the dispatched worker-pool capacity."""
+        if self.engine_capacity_seconds <= 0:
+            return 0.0
+        return self.engine_busy_seconds / self.engine_capacity_seconds
 
     def utilization(self) -> Dict[str, float]:
         if self.horizon_us <= 0:
@@ -137,6 +159,20 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
             stats.shed_by_client[client] = (
                 stats.shed_by_client.get(client, 0) + 1
             )
+        elif event.kind == "shard_dispatch":
+            stats.engine_dispatches += 1
+            stats.engine_shards += int(f.get("shards", 0))
+            mode = str(f.get("mode", "unknown"))
+            stats.engine_modes[mode] = stats.engine_modes.get(mode, 0) + 1
+            label = str(f.get("label", "engine"))
+            stats.engine_labels[label] = stats.engine_labels.get(label, 0) + 1
+        elif event.kind == "shard_merge":
+            stats.engine_merges += 1
+            wall = float(f.get("wall_s", 0.0))
+            stats.engine_wall_seconds += wall
+            stats.engine_busy_seconds += float(f.get("busy_s", 0.0))
+            stats.engine_merge_seconds += float(f.get("merge_s", 0.0))
+            stats.engine_capacity_seconds += wall * float(f.get("workers", 1))
         elif event.kind not in EVENT_KINDS:
             stats.unknown_kinds[event.kind] = (
                 stats.unknown_kinds.get(event.kind, 0) + 1
@@ -231,6 +267,31 @@ def render(stats: TraceStats, width: int = 48) -> str:
             lines.append(
                 f"  shed requests: {stats.shed_requests} ({per_client})"
             )
+        sections.append("\n".join(lines))
+
+    if stats.engine_dispatches:
+        modes = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(stats.engine_modes.items())
+        )
+        labels = ", ".join(
+            f"{label}={count}"
+            for label, count in sorted(stats.engine_labels.items())
+        )
+        lines = [
+            "parallel engine:",
+            (
+                f"  runs: {stats.engine_dispatches} "
+                f"({stats.engine_shards} shards; {modes})"
+            ),
+            f"  by label: {labels}",
+            (
+                f"  wall {stats.engine_wall_seconds:.3f}s, busy "
+                f"{stats.engine_busy_seconds:.3f}s, merge "
+                f"{stats.engine_merge_seconds:.4f}s "
+                f"(pool utilization {stats.engine_utilization:.1%})"
+            ),
+        ]
         sections.append("\n".join(lines))
 
     extras = []

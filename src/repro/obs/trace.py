@@ -37,6 +37,11 @@ kind                  fields
                       background scrub pass over a die's cache entries
 ``shed``              ``client, ts, read`` — request rejected by the
                       broker's admission control
+``shard_dispatch``    ``label, mode, shards, workers`` — one engine
+                      fan-out run started (:mod:`repro.engine`)
+``shard_merge``       ``label, mode, shards, workers, wall_s, busy_s,
+                      merge_s, utilization`` — the run's results merged
+                      in canonical shard order
 ====================  ====================================================
 """
 
@@ -65,6 +70,9 @@ EVENT_KINDS = frozenset(
         "cache_miss",
         "scrub_pass",
         "shed",
+        # parallel engine (repro.engine)
+        "shard_dispatch",
+        "shard_merge",
     }
 )
 

@@ -31,27 +31,40 @@ from repro.ssd.retry_model import RetryProfile
 COLD, WARM = "cold", "warm"
 
 
-def sentinel_hint_fn(model: SentinelModel) -> Callable[[Wordline], float]:
+class SentinelHintFn:
     """Per-wordline hint: the offset a scrubber pass would cache.
 
     One single-voltage sentinel readout at the default position, mapped
     through the fitted inference polynomial — the cheap operation the
     background scrubber performs during idle gaps.
+
+    A class (not a closure) so the hint function pickles into
+    :class:`repro.engine.ParallelMap` worker processes.
     """
 
-    def hint(wordline: Wordline) -> float:
+    def __init__(self, model: SentinelModel) -> None:
+        self.model = model
+
+    def __call__(self, wordline: Wordline) -> float:
         readout = wordline.sentinel_readout(0.0)
         return float(np.round(
-            model.infer_sentinel_offset(readout.difference_rate)
+            self.model.infer_sentinel_offset(readout.difference_rate)
         ))
 
-    return hint
+
+def sentinel_hint_fn(model: SentinelModel) -> Callable[[Wordline], float]:
+    """Build the cache-hint callable for ``model`` (picklable)."""
+    return SentinelHintFn(model)
 
 
 def measure_service_profiles(
-    kind: str, wordline_step: int = 8
+    kind: str, wordline_step: int = 8, workers: int = 1
 ) -> Dict[str, RetryProfile]:
-    """Cold and warm sentinel retry profiles on the aged evaluation block."""
+    """Cold and warm sentinel retry profiles on the aged evaluation block.
+
+    ``workers`` fans each measurement out over :mod:`repro.engine`; the
+    profiles are byte-identical to a serial measurement.
+    """
     from repro.exp.common import default_ecc, eval_chip, trained_model
 
     chip = eval_chip(kind)
@@ -60,7 +73,8 @@ def measure_service_profiles(
     policy = SentinelController(default_ecc(kind), model)
     wordlines = range(0, spec.wordlines_per_block, wordline_step)
     cold = RetryProfile.measure(
-        chip, policy, wordlines=wordlines, name="sentinel-cold"
+        chip, policy, wordlines=wordlines, name="sentinel-cold",
+        workers=workers,
     )
     warm = RetryProfile.measure(
         chip,
@@ -68,6 +82,7 @@ def measure_service_profiles(
         wordlines=wordlines,
         hint_fn=sentinel_hint_fn(model),
         name="sentinel-warm",
+        workers=workers,
     )
     return {COLD: cold, WARM: warm}
 

@@ -15,10 +15,69 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine import ParallelMap, WordlineShard, plan_wordline_shards
 from repro.flash.chip import FlashChip
 from repro.obs import OBS
 from repro.retry.policy import ReadPolicy
 from repro.ssd.timing import NandTiming
+
+
+@dataclass(frozen=True)
+class _MeasureTask:
+    """Everything a worker needs to measure one shard of wordlines.
+
+    The chip is rebuilt worker-side from ``(spec, seed, sentinel_ratio,
+    stress)`` — by construction that yields exactly the wordlines the
+    caller's chip would (the seed tree keys all randomness by wordline
+    identity), so sharding cannot change a single sample.
+    """
+
+    spec: object
+    seed: int
+    sentinel_ratio: float
+    stress: object
+    policy: ReadPolicy
+    pages: Tuple[int, ...]
+    hint_fn: Optional[Callable[..., float]]
+    emit: bool  # emit read_complete inline (serial in-process mode only)
+
+
+def _measure_shard(task: _MeasureTask, shard: WordlineShard) -> List[tuple]:
+    """Measure one shard; rows in (wordline, page) sweep order."""
+    chip = FlashChip(
+        task.spec, task.seed, task.sentinel_ratio, cache_wordlines=1
+    )
+    chip.set_block_stress(shard.block, task.stress)
+    rows: List[tuple] = []
+    for wl in chip.iter_wordlines(shard.block, shard.wordlines):
+        hint = task.hint_fn(wl) if task.hint_fn is not None else None
+        for p in task.pages:
+            outcome = task.policy.read(wl, p, hint=hint)
+            rows.append(
+                (
+                    p,
+                    outcome.retries,
+                    outcome.extra_single_reads,
+                    outcome.calibration_steps,
+                    bool(outcome.success),
+                )
+            )
+            if task.emit and OBS.enabled and OBS.tracer.enabled:
+                _emit_read_complete(task.policy.name, rows[-1])
+    return rows
+
+
+def _emit_read_complete(policy_name: str, row: tuple) -> None:
+    page, retries, extra, calibration_steps, success = row
+    OBS.tracer.emit(
+        "read_complete",
+        policy=policy_name,
+        page=page,
+        retries=retries,
+        extra=extra,
+        calibration_steps=calibration_steps,
+        success=success,
+    )
 
 
 @dataclass
@@ -40,6 +99,7 @@ class RetryProfile:
         pages: Optional[Sequence[int]] = None,
         hint_fn: Optional[Callable[..., float]] = None,
         name: Optional[str] = None,
+        workers: int = 1,
     ) -> "RetryProfile":
         """Measure a policy on one (aged) block of the chip model.
 
@@ -48,7 +108,16 @@ class RetryProfile:
         serving layer measures its *warm* profile (reads that start from a
         voltage-cache hit) alongside the cold one.  ``name`` overrides the
         stored policy name so both profiles stay distinguishable.
+
+        With ``workers > 1`` the wordline sweep fans out over
+        :class:`repro.engine.ParallelMap`; the samples are byte-identical
+        to a serial run because each wordline's randomness derives from its
+        own seed-tree streams.  Policy-internal trace events are lost in
+        worker processes; the parent re-emits one ``read_complete`` per
+        read, in canonical sweep order, after the merge.
         """
+        from functools import partial
+
         spec = chip.spec
         if wordlines is None:
             step = max(1, spec.wordlines_per_block // 64)
@@ -60,23 +129,28 @@ class RetryProfile:
         voltages = {
             p: len(spec.gray.page_voltages(p)) for p in page_list
         }
-        for wl in chip.iter_wordlines(block, wordlines):
-            hint = hint_fn(wl) if hint_fn is not None else None
-            for p in page_list:
-                outcome = policy.read(wl, p, hint=hint)
-                collected[p].append(
-                    (outcome.retries, outcome.extra_single_reads)
-                )
-                if OBS.enabled and OBS.tracer.enabled:
-                    OBS.tracer.emit(
-                        "read_complete",
-                        policy=policy.name,
-                        page=p,
-                        retries=outcome.retries,
-                        extra=outcome.extra_single_reads,
-                        calibration_steps=outcome.calibration_steps,
-                        success=bool(outcome.success),
-                    )
+        inline = workers <= 1  # serial: events fire in-process, as before
+        task = _MeasureTask(
+            spec=spec,
+            seed=chip.seed,
+            sentinel_ratio=chip.sentinel_ratio,
+            stress=chip.block_stress(block),
+            policy=policy,
+            pages=tuple(page_list),
+            hint_fn=hint_fn,
+            emit=inline,
+        )
+        shards = plan_wordline_shards(block, wordlines, workers)
+        engine = ParallelMap(workers=workers)
+        per_shard = engine.run(
+            partial(_measure_shard, task), shards, label="profile-measure"
+        )
+        for rows in per_shard:
+            for row in rows:
+                p, retries, extra = row[0], row[1], row[2]
+                collected[p].append((retries, extra))
+                if not inline and OBS.enabled and OBS.tracer.enabled:
+                    _emit_read_complete(policy.name, row)
         return cls(
             policy_name=name or policy.name,
             page_voltages=voltages,
