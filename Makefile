@@ -1,12 +1,16 @@
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke examples figures serve-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke clean
 
 install:
 	pip install -e .[test]
 
 test:
 	$(PYTHON) -m pytest tests/
+
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+		--cov-fail-under=70
 
 lint:
 	$(PYTHON) -m ruff check src tests benchmarks examples
@@ -32,6 +36,9 @@ figures:
 
 serve-smoke:
 	$(PYTHON) -m repro serve --smoke --seed 1 --requests 300
+
+chaos-smoke:
+	$(PYTHON) -m repro chaos --smoke --seed 1 --workers 2
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

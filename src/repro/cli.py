@@ -12,6 +12,10 @@ Commands
 ``overhead``      sentinel space-overhead report for a chip/ratio.
 ``figure``        run one paper-figure driver and print its rows.
 ``stats``         summarize an exported observability JSONL trace.
+``chaos``         fault-injection campaign: hardened serving layer plus a
+                  chip-level read sweep under a declarative fault plan
+                  (``--smoke`` for CI; exits non-zero if the request
+                  accounting identity breaks).
 ``bench``         core read-path benchmark: wordline read throughput plus
                   serial-vs-parallel profile measurement (``--smoke`` for
                   CI); writes ``BENCH_core.json``.
@@ -258,6 +262,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
             return 1
         echo(f"service report -> {args.json}")
     return _export_obs(args)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a fault-injection campaign and report how the stack recovered.
+
+    Exits non-zero when the serving layer's accounting identity breaks
+    (served + degraded + shed must equal offered) — the invariant the
+    resilience machinery is supposed to preserve under any plan.
+    """
+    import json
+
+    from repro.faults.campaign import run_campaign
+    from repro.faults.plan import FaultPlan
+
+    if args.plan:
+        try:
+            plan = FaultPlan.load(args.plan)
+        except OSError as exc:
+            print(f"repro chaos: cannot read plan {args.plan}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"repro chaos: {args.plan} is not a fault plan: {exc}",
+                  file=sys.stderr)
+            return 1
+    elif args.no_faults:
+        plan = FaultPlan.none()
+    else:
+        plan = FaultPlan.standard()
+    _maybe_enable_obs(args)
+    report = run_campaign(
+        plan,
+        seed=args.seed,
+        kind=args.kind,
+        smoke=args.smoke,
+        workers=args.workers,
+        n_requests=args.requests,
+    )
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro chaos: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"chaos report -> {args.json}")
+    status = _export_obs(args)
+    if not report.accounting.get("balanced", False):
+        acc = report.accounting
+        print(f"repro chaos: FAIL: request accounting imbalanced "
+              f"(served {acc.get('served')} + degraded {acc.get('degraded')} "
+              f"+ shed {acc.get('shed')} != offered {acc.get('offered')})",
+              file=sys.stderr)
+        return 1
+    return status
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -595,6 +657,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench report path (empty string disables)")
     add_workers(p, default=0)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: service resilience + chip sweep",
+    )
+    p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="tlc")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--plan", metavar="PATH",
+        help="fault-plan JSON (default: the built-in standard plan)",
+    )
+    p.add_argument(
+        "--no-faults", action="store_true",
+        help="run the campaign with an empty plan (differential baseline)",
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized campaign: small wordlines, thin chip sweep",
+    )
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests of the serving phase's open-loop reader")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON chaos report here")
+    add_workers(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("overhead", help="sentinel space-overhead report")
     p.add_argument("--kind", choices=["tlc", "qlc", "mlc"], default="qlc")

@@ -19,6 +19,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.faults import FAULTS
 from repro.flash.mechanisms import StressState
 from repro.flash.spec import FlashSpec
 from repro.flash.variation import BlockVariation, WordlineModifiers
@@ -343,6 +344,10 @@ class Wordline:
         stored = self._stored_bits(p)
         mismatch = (bits != stored)[self._data_mask]
         n_err = int(mismatch.sum())
+        if FAULTS.active:
+            n_err = FAULTS.injector.flash_read(
+                self.block, self.index, mismatch, n_err
+            )
         return ReadResult(
             page=p,
             bits=bits[self._data_mask],

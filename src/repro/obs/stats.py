@@ -13,7 +13,10 @@ into the three views the paper's evaluation keeps coming back to:
   sheds from ``repro serve`` runs (see :mod:`repro.service`);
 * the **parallel engine** — fan-out runs, shard counts, execution modes
   and pool utilization from ``shard_dispatch``/``shard_merge`` events
-  (see :mod:`repro.engine`).
+  (see :mod:`repro.engine`);
+* **faults** — injections by kind, breaker trips per die and degraded
+  reads by reason from ``fault_injected``/``breaker_trip``/
+  ``degraded_read`` events (see :mod:`repro.faults`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -68,6 +71,13 @@ class TraceStats:
     engine_modes: Dict[str, int] = field(default_factory=dict)
     #: engine run label -> runs
     engine_labels: Dict[str, int] = field(default_factory=dict)
+    # fault-injection + resilience events (repro.faults, hardened broker)
+    #: fault kind (e.g. ``ssd.die_stall``) -> injections
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: die index -> breaker trips (opens + re-opens)
+    breaker_trips_by_die: Dict[int, int] = field(default_factory=dict)
+    #: degraded-read reason -> count
+    degraded_by_reason: Dict[str, int] = field(default_factory=dict)
     #: kinds outside ``EVENT_KINDS`` (traces from newer builds)
     unknown_kinds: Dict[str, int] = field(default_factory=dict)
 
@@ -94,6 +104,18 @@ class TraceStats:
     @property
     def shed_requests(self) -> int:
         return sum(self.shed_by_client.values())
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.faults_by_kind.values())
+
+    @property
+    def breaker_trips(self) -> int:
+        return sum(self.breaker_trips_by_die.values())
+
+    @property
+    def degraded_reads(self) -> int:
+        return sum(self.degraded_by_reason.values())
 
     @property
     def engine_utilization(self) -> float:
@@ -173,6 +195,21 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
             stats.engine_busy_seconds += float(f.get("busy_s", 0.0))
             stats.engine_merge_seconds += float(f.get("merge_s", 0.0))
             stats.engine_capacity_seconds += wall * float(f.get("workers", 1))
+        elif event.kind == "fault_injected":
+            fault = str(f.get("fault", "unknown"))
+            stats.faults_by_kind[fault] = (
+                stats.faults_by_kind.get(fault, 0) + 1
+            )
+        elif event.kind == "breaker_trip":
+            die = int(f.get("die", -1))
+            stats.breaker_trips_by_die[die] = (
+                stats.breaker_trips_by_die.get(die, 0) + 1
+            )
+        elif event.kind == "degraded_read":
+            reason = str(f.get("reason", "unknown"))
+            stats.degraded_by_reason[reason] = (
+                stats.degraded_by_reason.get(reason, 0) + 1
+            )
         elif event.kind not in EVENT_KINDS:
             stats.unknown_kinds[event.kind] = (
                 stats.unknown_kinds.get(event.kind, 0) + 1
@@ -266,6 +303,31 @@ def render(stats: TraceStats, width: int = 48) -> str:
             )
             lines.append(
                 f"  shed requests: {stats.shed_requests} ({per_client})"
+            )
+        sections.append("\n".join(lines))
+
+    if stats.faults_by_kind or stats.breaker_trips or stats.degraded_reads:
+        by_kind = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(stats.faults_by_kind.items())
+        )
+        lines = ["faults:",
+                 f"  injected: {stats.faults_injected} ({by_kind or 'none'})"]
+        if stats.breaker_trips_by_die:
+            per_die = ", ".join(
+                f"die{die}={count}"
+                for die, count in sorted(stats.breaker_trips_by_die.items())
+            )
+            lines.append(
+                f"  breaker trips: {stats.breaker_trips} ({per_die})"
+            )
+        if stats.degraded_by_reason:
+            per_reason = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(stats.degraded_by_reason.items())
+            )
+            lines.append(
+                f"  degraded reads: {stats.degraded_reads} ({per_reason})"
             )
         sections.append("\n".join(lines))
 

@@ -42,6 +42,16 @@ kind                  fields
 ``shard_merge``       ``label, mode, shards, workers, wall_s, busy_s,
                       merge_s, utilization`` — the run's results merged
                       in canonical shard order
+``fault_injected``    ``fault`` (the fault kind) plus whichever of
+                      ``die, block, wordline, ts`` the hook site knows —
+                      one event per injected fault (:mod:`repro.faults`)
+``breaker_trip``      ``die, ts, failures, state`` — a per-die circuit
+                      breaker opened (``state`` is ``open`` on the first
+                      trip, ``reopen`` when a half-open trial failed)
+``degraded_read``     ``die, block, ts, reason`` — a read was routed to
+                      the degraded fallback-table path (``reason`` is
+                      ``breaker_open``, ``retries_exhausted`` or
+                      ``request_timeout``)
 ====================  ====================================================
 """
 
@@ -73,6 +83,10 @@ EVENT_KINDS = frozenset(
         # parallel engine (repro.engine)
         "shard_dispatch",
         "shard_merge",
+        # fault injection + resilience (repro.faults, hardened broker)
+        "fault_injected",
+        "breaker_trip",
+        "degraded_read",
     }
 )
 

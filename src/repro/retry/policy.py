@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.ecc.capability import CapabilityEcc
+from repro.faults import FAULTS
 from repro.flash.wordline import Wordline, make_offsets
 from repro.obs import OBS
 
@@ -100,6 +101,10 @@ class ReadPolicy(ABC):
         dense = make_offsets(wordline.spec, offsets)
         result = wordline.read_page(outcome.page, dense, rng)
         decoded = self.ecc.decode_ok(result)
+        if FAULTS.active:
+            decoded = FAULTS.injector.ecc_verdict(
+                wordline.block, wordline.index, decoded
+            )
         outcome.attempts.append(
             ReadAttempt(offsets=dense, rber=result.rber, decoded=decoded)
         )

@@ -10,10 +10,17 @@ SLO monitoring.  Everything runs on the deterministic virtual clock of
 :class:`repro.ssd.events.EventQueue`: the same seed produces a
 bit-identical :class:`~repro.service.report.ServiceReport`.
 
+The broker is hardened against injected faults (:mod:`repro.faults`):
+per-operation timeouts with bounded exponential backoff, a per-die
+circuit breaker that routes reads of a sick die to a degraded
+fallback-table path, and cache-entry quarantine on detected corruption —
+see ``docs/RELIABILITY.md``.
+
 See ``docs/SERVICE.md`` for the architecture and ``repro serve`` for the
 CLI entry point.
 """
 
+from repro.service.breaker import CircuitBreaker
 from repro.service.broker import FlashReadService, ServiceConfig
 from repro.service.profiles import (
     COLD,
@@ -40,6 +47,7 @@ from repro.service.workload import (
 __all__ = [
     "FlashReadService",
     "ServiceConfig",
+    "CircuitBreaker",
     "ServiceReport",
     "ClientSpec",
     "ServiceRequest",

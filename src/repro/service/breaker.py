@@ -1,0 +1,84 @@
+"""Per-die circuit breaker: stop hammering a die that keeps timing out.
+
+Classic three-state breaker on the broker's virtual clock:
+
+* **closed** — normal service; consecutive operation timeouts are counted
+  and ``threshold`` of them in a row trip the breaker;
+* **open** — the die is presumed sick; reads route straight to the
+  degraded fallback-table path (no profile sampling, no cache) until
+  ``open_us`` of virtual time has passed;
+* **half-open** — one trial read is allowed through; success closes the
+  breaker, another timeout re-opens it for a fresh ``open_us``.
+
+Only *timeout* failures count — a stale cache entry that forces a cold
+retry says nothing about die health.  All transitions are deterministic
+functions of the (deterministic) virtual clock.
+"""
+
+from __future__ import annotations
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Breaker state machine for one die."""
+
+    __slots__ = ("die", "threshold", "open_us", "state", "failures",
+                 "opened_at_us", "trips")
+
+    def __init__(self, die: int, threshold: int, open_us: float) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be positive")
+        if open_us <= 0:
+            raise ValueError("open_us must be positive")
+        self.die = die
+        self.threshold = threshold
+        self.open_us = open_us
+        self.state = CLOSED
+        self.failures = 0  # consecutive timeouts while closed
+        self.opened_at_us = 0.0
+        self.trips = 0  # total open transitions (first trips + re-opens)
+
+    # ------------------------------------------------------------------
+    def allow(self, now_us: float) -> bool:
+        """Whether a normal-path read may proceed at ``now_us``.
+
+        An open breaker whose cool-down elapsed moves to half-open and
+        admits exactly one trial; callers must report the trial's outcome
+        via :meth:`record_success` / :meth:`record_failure`."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_us - self.opened_at_us >= self.open_us:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the trial itself
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now_us: float):
+        """Count one timeout.
+
+        Returns ``"open"`` when the consecutive-failure threshold trips a
+        closed breaker, ``"reopen"`` when a half-open trial failed, and
+        ``None`` when the breaker stays closed."""
+        if self.state == HALF_OPEN:
+            self._open(now_us)
+            return "reopen"
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self._open(now_us)
+            return "open"
+        return None
+
+    def _open(self, now_us: float) -> None:
+        self.state = OPEN
+        self.opened_at_us = now_us
+        self.failures = 0
+        self.trips += 1

@@ -34,8 +34,10 @@ from collections import Counter, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults import FAULTS
 from repro.flash.spec import FlashSpec
 from repro.obs import OBS
+from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.profiles import COLD, WARM
 from repro.service.report import ServiceReport
 from repro.service.scrubber import ScrubberConfig, SentinelScrubber
@@ -56,30 +58,65 @@ from repro.util.rng import derive_rng
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Broker admission and feature switches."""
+    """Broker admission, feature switches, and resilience knobs.
+
+    The resilience parameters only matter while a fault campaign is
+    active (:data:`repro.faults.FAULTS`): the fault-free read path never
+    times out (the worst realistic read is ~6 ms against a 20 ms budget),
+    so the breaker and backoff machinery stays cold and reports remain
+    byte-identical to pre-resilience builds."""
 
     admit_limit: int = 64  # outstanding requests across all clients
     die_queue_limit: int = 16  # pending chains per die
     cache_enabled: bool = True
     scrub_enabled: bool = True
     slo_window_us: float = 250_000.0
+    #: one read op is aborted (and counted a failure) past this budget
+    op_timeout_us: float = 20_000.0
+    #: a request whose retries exceed this budget goes degraded outright
+    request_timeout_us: float = 100_000.0
+    #: normal-path attempts per read before the degraded fallback
+    read_attempts: int = 3
+    #: bounded exponential backoff between failed attempts
+    backoff_base_us: float = 200.0
+    backoff_cap_us: float = 5_000.0
+    #: per-die circuit breaker: consecutive timeouts to trip, cool-down
+    breaker_threshold: int = 4
+    breaker_open_us: float = 50_000.0
+    #: fallback-table retries charged to one degraded read
+    degraded_retries: int = 4
 
     def __post_init__(self) -> None:
         if self.admit_limit < 1:
             raise ValueError("admit_limit must be positive")
         if self.die_queue_limit < 1:
             raise ValueError("die_queue_limit must be positive")
+        if self.op_timeout_us <= 0:
+            raise ValueError("op_timeout_us must be positive")
+        if self.request_timeout_us < self.op_timeout_us:
+            raise ValueError("request_timeout_us must cover one op timeout")
+        if self.read_attempts < 1:
+            raise ValueError("read_attempts must be positive")
+        if self.backoff_base_us < 0 or self.backoff_cap_us < self.backoff_base_us:
+            raise ValueError("backoff bounds must satisfy 0 <= base <= cap")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_open_us <= 0:
+            raise ValueError("breaker_open_us must be positive")
+        if self.degraded_retries < 0:
+            raise ValueError("degraded_retries must be non-negative")
 
 
 class _InFlight:
     """One admitted request: issue time + unfinished chain count."""
 
-    __slots__ = ("request", "issue_us", "remaining")
+    __slots__ = ("request", "issue_us", "remaining", "degraded")
 
     def __init__(self, request: ServiceRequest, issue_us: float, chains: int):
         self.request = request
         self.issue_us = issue_us
         self.remaining = chains
+        self.degraded = False  # any read of the request went degraded
 
 
 class _DieLane:
@@ -129,6 +166,14 @@ class FlashReadService:
         )
         self.slo = SloMonitor(self.config.slo_window_us)
         self._lanes = [_DieLane(d) for d in range(ssd_config.n_dies)]
+        self._breakers = [
+            CircuitBreaker(
+                d, self.config.breaker_threshold, self.config.breaker_open_us
+            )
+            for d in range(ssd_config.n_dies)
+        ]
+        #: resilience-path counters; stays empty without an active campaign
+        self.resilience: Dict[str, float] = {}
         #: erase count per (die, block) — the P/E signal of drift invalidation
         self._erases: Dict[Tuple[int, int], int] = {}
         self.retry_histogram: Dict[int, int] = {}
@@ -215,9 +260,20 @@ class FlashReadService:
                 dies.append(self.ftl.peek_write_die(k))
         return dies
 
+    def _resil(self, name: str, amount: float = 1) -> None:
+        self.resilience[name] = self.resilience.get(name, 0) + amount
+
     def _issue(self, req: ServiceRequest) -> None:
         self.slo.record_issue(req.client)
-        if self._outstanding >= self.config.admit_limit:
+        admit_limit = self.config.admit_limit
+        if FAULTS.active:
+            admit_limit = FAULTS.injector.admit_limit(
+                admit_limit, self.queue.now
+            )
+        if self._outstanding >= admit_limit:
+            if admit_limit < self.config.admit_limit:
+                # would have been admitted at the configured limit
+                self._resil("overload_sheds")
             self._shed(req)
             return
         per_die = Counter(self._target_dies(req))
@@ -274,16 +330,16 @@ class FlashReadService:
             return
         inflight, ops = lane.queue.popleft()
         lane.busy = True
-        duration = sum(self._op_duration_us(op) for op in ops)
+        duration = sum(self._op_duration_us(op, inflight) for op in ops)
         lane.busy_us += duration
         self.queue.schedule_after(
             duration, lambda: self._chain_done(lane, inflight)
         )
 
-    def _op_duration_us(self, op: PhysicalOp) -> float:
+    def _op_duration_us(self, op: PhysicalOp, inflight: _InFlight) -> float:
         t = self.timing
         if op.kind == "read":
-            return self._read_duration_us(op)
+            return self._read_duration_us(op, inflight)
         if op.kind == "program":
             return t.t_transfer_us + t.t_program_us
         if op.kind == "erase":
@@ -293,25 +349,32 @@ class FlashReadService:
             return t.t_erase_us
         raise ValueError(f"unknown op kind {op.kind!r}")
 
-    def _read_duration_us(self, op: PhysicalOp) -> float:
+    def _cache_probe(self, key: CacheKey, op: PhysicalOp) -> bool:
+        """One voltage-cache lookup with its observability; True on hit."""
+        entry = self.cache.lookup(key, self.queue.now, self._pe_of(key))
+        hit = entry is not None
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_service_cache_lookups_total",
+                    help="voltage-cache lookups by outcome",
+                    result="hit" if hit else "miss",
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "cache_hit" if hit else "cache_miss",
+                    die=key[0], block=key[1], layer=key[2],
+                    ts=self.queue.now, gc=op.gc,
+                )
+        return hit
+
+    def _read_duration_us(self, op: PhysicalOp, inflight: _InFlight) -> float:
+        if FAULTS.active:
+            return self._read_resilient_us(op, inflight)
+        # fault-free fast path: one profile draw per read, no timeout or
+        # breaker bookkeeping — byte-identical to the pre-resilience broker
         key = self._cache_key(op)
-        hit = False
-        if self.config.cache_enabled:
-            entry = self.cache.lookup(key, self.queue.now, self._pe_of(key))
-            hit = entry is not None
-            if OBS.enabled:
-                if OBS.metrics.enabled:
-                    OBS.metrics.counter(
-                        "repro_service_cache_lookups_total",
-                        help="voltage-cache lookups by outcome",
-                        result="hit" if hit else "miss",
-                    ).inc()
-                if OBS.tracer.enabled:
-                    OBS.tracer.emit(
-                        "cache_hit" if hit else "cache_miss",
-                        die=key[0], block=key[1], layer=key[2],
-                        ts=self.queue.now, gc=op.gc,
-                    )
+        hit = self.config.cache_enabled and self._cache_probe(key, op)
         profile = self.profiles[WARM if hit else COLD]
         ptype = self._page_type(op)
         retries, extra = profile.sample(ptype, self.rng)
@@ -324,6 +387,144 @@ class FlashReadService:
         n_voltages = profile.page_voltages[ptype]
         return self.timing.read_us(n_voltages, retries, extra)
 
+    # ------------------------------------------------------------------
+    # resilient read path (active fault campaigns only)
+    # ------------------------------------------------------------------
+    def _read_resilient_us(self, op: PhysicalOp, inflight: _InFlight) -> float:
+        """Timeout + bounded-backoff attempt loop over the normal path.
+
+        Each attempt is the fast path plus injected hazards: a die stall
+        or channel congestion can push the op past ``op_timeout_us``
+        (counted against the die's circuit breaker), a stale cache hit
+        fails silently and retries cold after backoff (not a die-health
+        signal), a corrupt hit is quarantined and the read proceeds cold.
+        Exhausted attempts — or an open breaker — route to the degraded
+        fallback-table read."""
+        cfg = self.config
+        inj = FAULTS.injector
+        now = self.queue.now
+        breaker = self._breakers[op.die]
+        key = self._cache_key(op)
+        ptype = self._page_type(op)
+
+        if not breaker.allow(now):
+            return self._degraded_read_us(op, inflight, now, "breaker_open")
+
+        budget_us = cfg.request_timeout_us - (now - inflight.issue_us)
+        total = 0.0
+        reason = "retries_exhausted"
+        for attempt in range(1, cfg.read_attempts + 1):
+            hit = cfg.cache_enabled and self._cache_probe(key, op)
+            event = inj.cache_event(key, now) if hit else None
+            if event == "corrupt":
+                # detected corruption: drop + quarantine, proceed cold
+                self.cache.quarantine(key, now)
+                self._resil("cache_quarantines")
+                hit = False
+            profile = self.profiles[WARM if hit else COLD]
+            retries, extra = profile.sample(ptype, self.rng)
+            self.retry_histogram[retries] = (
+                self.retry_histogram.get(retries, 0) + 1
+            )
+            if cfg.cache_enabled and not hit:
+                self.cache.put(key, 0.0, now, self._pe_of(key))
+            n_voltages = profile.page_voltages[ptype]
+            duration = self.timing.read_us(n_voltages, retries, extra)
+            duration += inj.die_stall_us(op.die, now)
+            duration *= inj.congestion_factor(now)
+
+            failure = None
+            if duration > cfg.op_timeout_us:
+                duration = cfg.op_timeout_us  # op aborted at the budget
+                failure = "timeout"
+            elif event == "stale":
+                failure = "stale"
+            total += duration
+            if failure is None:
+                breaker.record_success()
+                return total
+            if failure == "timeout":
+                self._resil("op_timeouts")
+                trip = breaker.record_failure(now + total)
+                if trip:
+                    self._observe_breaker_trip(breaker, now + total, trip)
+                if breaker.state == OPEN:
+                    break
+            else:
+                # the hinted read silently missed: forget the bad entry so
+                # the retry goes cold; no die-health signal
+                self._resil("stale_retries")
+                self.cache.invalidate(key)
+            if total > budget_us:
+                self._resil("request_timeouts")
+                reason = "request_timeout"
+                break
+            if attempt < cfg.read_attempts:
+                backoff = min(
+                    cfg.backoff_base_us * (2 ** (attempt - 1)),
+                    cfg.backoff_cap_us,
+                )
+                total += backoff
+                self._resil("backoffs")
+                self._resil("backoff_us", backoff)
+        return total + self._degraded_read_us(op, inflight, now, reason)
+
+    def _degraded_read_us(
+        self, op: PhysicalOp, inflight: _InFlight, now: float, reason: str
+    ) -> float:
+        """Last-resort read straight off the vendor fallback table.
+
+        No cache, no profile sampling: a fixed ``degraded_retries`` walk of
+        the table always lands on decodable voltages (the vendor guarantee
+        the paper's baseline relies on).  Slow but certain — and still
+        subject to an ongoing die stall, which is bounded, so the request
+        completes."""
+        profile = self.profiles[COLD]
+        ptype = self._page_type(op)
+        retries = self.config.degraded_retries
+        self.retry_histogram[retries] = (
+            self.retry_histogram.get(retries, 0) + 1
+        )
+        duration = self.timing.read_us(profile.page_voltages[ptype], retries, 0)
+        duration += FAULTS.injector.die_stall_us(op.die, now)
+        inflight.degraded = True
+        self._resil("degraded_reads")
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_faults_degraded_reads_total",
+                    help="reads routed to the degraded fallback-table path",
+                    reason=reason,
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "degraded_read",
+                    die=op.die, block=op.block, ts=now, reason=reason,
+                )
+        return duration
+
+    def _observe_breaker_trip(
+        self, breaker: CircuitBreaker, ts: float, trip: str
+    ) -> None:
+        self._resil("breaker_trips")
+        if OBS.enabled:
+            if OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_faults_breaker_trips_total",
+                    help="per-die circuit-breaker open transitions",
+                    die=str(breaker.die),
+                ).inc()
+            if OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "breaker_trip",
+                    die=breaker.die,
+                    ts=ts,
+                    failures=(
+                        breaker.threshold if trip == "open" else 1
+                    ),
+                    state=trip,
+                )
+
     def _chain_done(self, lane: _DieLane, inflight: _InFlight) -> None:
         lane.busy = False
         inflight.remaining -= 1
@@ -332,7 +533,8 @@ class FlashReadService:
             latency = self.queue.now - inflight.issue_us
             self._outstanding -= 1
             self.slo.record_completion(
-                req.client, self.queue.now, latency, req.is_read
+                req.client, self.queue.now, latency, req.is_read,
+                degraded=inflight.degraded,
             )
             self._request_done(req)
         self._start_next(lane)
@@ -345,6 +547,9 @@ class FlashReadService:
         idle.  Not re-armed here on an empty candidate list — the next
         busy->idle transition re-arms, so a drained simulation terminates."""
         if lane.busy or lane.queue or self._remaining == 0:
+            return
+        if FAULTS.active and FAULTS.injector.scrub_starved(self.queue.now):
+            self._resil("scrub_starved_passes")
             return
         keys = self.scrubber.candidates(lane.index, self.queue.now)
         if not keys:
@@ -404,4 +609,10 @@ class FlashReadService:
             retry_histogram=dict(self.retry_histogram),
             die_utilization=utilization,
             extras=extras,
+            faults=(
+                FAULTS.injector.counts_snapshot() if FAULTS.active else {}
+            ),
+            resilience={
+                k: self.resilience[k] for k in sorted(self.resilience)
+            },
         )

@@ -34,6 +34,11 @@ class ServiceReport:
     retry_histogram: Dict[int, int] = field(default_factory=dict)
     die_utilization: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
+    #: faults injected during the run, by kind (empty without a campaign)
+    faults: Dict[str, int] = field(default_factory=dict)
+    #: resilience-path counters (timeouts, backoffs, breaker trips,
+    #: degraded reads, quarantines); empty in fault-free runs
+    resilience: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -56,6 +61,19 @@ class ServiceReport:
     def completed_total(self) -> int:
         return int(sum(c.get("completed", 0) for c in self.clients.values()))
 
+    @property
+    def issued_total(self) -> int:
+        return int(sum(c.get("issued", 0) for c in self.clients.values()))
+
+    @property
+    def degraded_total(self) -> int:
+        return int(sum(c.get("degraded", 0) for c in self.clients.values()))
+
+    @property
+    def served_total(self) -> int:
+        """Completions that took the normal (non-degraded) path."""
+        return self.completed_total - self.degraded_total
+
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         payload = asdict(self)
@@ -63,6 +81,11 @@ class ServiceReport:
         payload["retry_histogram"] = {
             str(k): v for k, v in sorted(self.retry_histogram.items())
         }
+        # fault/resilience sections only exist when something happened, so
+        # fault-free reports stay byte-identical to pre-resilience ones
+        for optional in ("faults", "resilience"):
+            if not payload[optional]:
+                del payload[optional]
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     # ------------------------------------------------------------------
@@ -115,6 +138,28 @@ class ServiceReport:
             )
         else:
             sections.append("scrubber: disabled")
+        if self.faults:
+            sections.append(
+                "faults injected: "
+                + ", ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.faults.items())
+                )
+            )
+        if self.resilience:
+            sections.append(
+                "resilience: "
+                + ", ".join(
+                    f"{name}={value:g}"
+                    for name, value in sorted(self.resilience.items())
+                )
+            )
+        if self.degraded_total:
+            sections.append(
+                f"requests: {self.served_total} served + "
+                f"{self.degraded_total} degraded + {self.shed_total} shed "
+                f"= {self.issued_total} issued"
+            )
         sections.append(
             f"die utilization: {self.die_utilization:.1%}  "
             f"shed: {self.shed_total} of "

@@ -31,6 +31,9 @@ class ClientAccount:
     issued: int = 0
     completed: int = 0
     shed: int = 0
+    #: completions served through the degraded fallback path (subset of
+    #: ``completed``; zero in fault-free runs)
+    degraded: int = 0
     read_latencies_us: List[float] = field(default_factory=list)
     write_latencies_us: List[float] = field(default_factory=list)
     #: completion timestamps, parallel to reads+writes interleaved
@@ -82,10 +85,23 @@ class SloMonitor:
                 )
 
     def record_completion(
-        self, client: str, now_us: float, latency_us: float, is_read: bool
+        self,
+        client: str,
+        now_us: float,
+        latency_us: float,
+        is_read: bool,
+        degraded: bool = False,
     ) -> None:
         acct = self._account(client)
         acct.completed += 1
+        if degraded:
+            acct.degraded += 1
+            if OBS.enabled and OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_faults_degraded_requests_total",
+                    help="requests completed via the degraded read path",
+                    client=client,
+                ).inc()
         acct.completion_times_us.append(now_us)
         if is_read:
             acct.read_latencies_us.append(latency_us)
@@ -148,6 +164,9 @@ class SloMonitor:
                 "issued": acct.issued,
                 "completed": acct.completed,
                 "shed": acct.shed,
+                # only present once nonzero: fault-free summaries must stay
+                # byte-identical to pre-resilience reports
+                **({"degraded": acct.degraded} if acct.degraded else {}),
                 "iops": acct.completed / seconds if seconds else 0.0,
                 "read_count": reads.count,
                 "read_mean_us": reads.mean_us,

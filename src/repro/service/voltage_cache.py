@@ -42,6 +42,9 @@ class VoltageCacheConfig:
     max_pe_delta: int = 0
     #: the scrubber refreshes entries older than this fraction of the TTL
     refresh_age_fraction: float = 0.5
+    #: how long a quarantined key refuses re-insertion after detected
+    #: corruption (the resilience path of the hardened broker)
+    quarantine_us: float = 500_000.0
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -52,6 +55,8 @@ class VoltageCacheConfig:
             raise ValueError("max_pe_delta must be non-negative")
         if not 0.0 < self.refresh_age_fraction <= 1.0:
             raise ValueError("refresh_age_fraction must be in (0, 1]")
+        if self.quarantine_us <= 0:
+            raise ValueError("quarantine_us must be positive")
 
     @property
     def refresh_age_us(self) -> float:
@@ -82,6 +87,9 @@ class VoltageOffsetCache:
         self.expired = 0  # lookups that found a drift-stale entry
         self.evicted = 0  # LRU evictions
         self.refreshed = 0  # scrubber refreshes
+        self.quarantined = 0  # corruption quarantines
+        #: key -> quarantine expiry (virtual us); blocks lookups and puts
+        self._quarantine: Dict[CacheKey, float] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -102,6 +110,9 @@ class VoltageOffsetCache:
         A stale entry (too old, or the block was erased since) is removed
         and counted in ``expired``; both absence and staleness count as a
         miss."""
+        if self._quarantine and self._quarantined_now(key, now_us):
+            self.misses += 1
+            return None
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -119,7 +130,13 @@ class VoltageOffsetCache:
     def put(
         self, key: CacheKey, offset: float, now_us: float, pe_cycles: int
     ) -> None:
-        """Store a freshly inferred offset (replacing any prior entry)."""
+        """Store a freshly inferred offset (replacing any prior entry).
+
+        A key under active quarantine refuses the insert — a corrupted
+        location must be re-observed clean for ``quarantine_us`` before
+        its inferences are trusted again."""
+        if self._quarantine and self._quarantined_now(key, now_us):
+            return
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = CacheEntry(
@@ -142,6 +159,36 @@ class VoltageOffsetCache:
             entry.stored_us = now_us
             entry.pe_cycles = pe_cycles
         self.refreshed += 1
+
+    # ------------------------------------------------------------------
+    # corruption quarantine (resilience path)
+    # ------------------------------------------------------------------
+    def _quarantined_now(self, key: CacheKey, now_us: float) -> bool:
+        until = self._quarantine.get(key)
+        if until is None:
+            return False
+        if now_us >= until:
+            del self._quarantine[key]
+            return False
+        return True
+
+    def quarantine(self, key: CacheKey, now_us: float) -> None:
+        """Drop ``key`` and block it for ``quarantine_us`` of virtual time.
+
+        Called by the broker when a cached offset is detected corrupt; the
+        read that detected it proceeds cold and its (fresh) inference is
+        *not* re-cached until the quarantine lapses."""
+        self._entries.pop(key, None)
+        self._quarantine[key] = now_us + self.config.quarantine_us
+        self.quarantined += 1
+
+    def is_quarantined(self, key: CacheKey, now_us: float) -> bool:
+        return self._quarantined_now(key, now_us)
+
+    def invalidate(self, key: CacheKey) -> None:
+        """Drop one entry the read path detected stale (no quarantine)."""
+        if self._entries.pop(key, None) is not None:
+            self.expired += 1
 
     # ------------------------------------------------------------------
     def scrub_candidates(
@@ -179,8 +226,11 @@ class VoltageOffsetCache:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def stats(self) -> Dict[str, float]:
-        """JSON-ready counters for the service report."""
-        return {
+        """JSON-ready counters for the service report.
+
+        The ``quarantined`` key only appears once a quarantine happened,
+        so fault-free reports stay byte-identical to pre-resilience ones."""
+        out = {
             "entries": len(self._entries),
             "lookups": self.lookups,
             "hits": self.hits,
@@ -190,3 +240,6 @@ class VoltageOffsetCache:
             "evicted": self.evicted,
             "refreshed": self.refreshed,
         }
+        if self.quarantined:
+            out["quarantined"] = self.quarantined
+        return out

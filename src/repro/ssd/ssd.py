@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults import FAULTS
 from repro.flash.spec import FlashSpec
 from repro.obs import OBS
 from repro.ssd.config import SsdConfig
@@ -92,6 +93,9 @@ class Ssd:
             if write_lane.busy_until > max(earliest_us, read_lane.busy_until):
                 sense += self.suspend_us  # suspend an in-flight program/erase
             transfers = (1 + retries + extra) * t.t_transfer_us
+            if FAULTS.active:
+                sense += FAULTS.injector.die_stall_us(op.die, earliest_us)
+                transfers *= FAULTS.injector.congestion_factor(earliest_us)
             sense_start, sense_end = read_lane.acquire(earliest_us, sense)
             xfer_start, end = channel.acquire(sense_end, transfers)
             if OBS.enabled:
@@ -101,7 +105,10 @@ class Ssd:
             return end
         write_lane = self._die_writes[op.die]
         if op.kind == "program":
-            xfer_start, xfer_end = channel.acquire(earliest_us, t.t_transfer_us)
+            xfer_us = t.t_transfer_us
+            if FAULTS.active:
+                xfer_us *= FAULTS.injector.congestion_factor(earliest_us)
+            xfer_start, xfer_end = channel.acquire(earliest_us, xfer_us)
             # the program cannot start while a read is sensing
             start = max(xfer_end, self._die_reads[op.die].busy_until)
             prog_start, end = write_lane.acquire(start, t.t_program_us)

@@ -230,3 +230,62 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "serving layer" in out
         assert "voltage cache" in out
+
+
+class TestChaosCommand:
+    @pytest.fixture(autouse=True)
+    def _faults_off(self):
+        from repro.faults import FAULTS
+
+        FAULTS.deactivate()
+        yield
+        FAULTS.deactivate()
+
+    def test_smoke_runs_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(["chaos", "--smoke", "--seed", "1",
+                     "--json", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "chaos campaign: standard" in text
+        assert "balanced" in text
+        payload = json.loads(out.read_text())
+        assert payload["accounting"]["balanced"] is True
+        assert payload["faults"]  # the standard plan injects something
+
+    def test_no_faults_baseline_is_clean(self, capsys):
+        assert main(["chaos", "--smoke", "--seed", "1",
+                     "--no-faults"]) == 0
+        text = capsys.readouterr().out
+        assert "faults injected: none" in text
+
+    def test_custom_plan_file(self, tmp_path, capsys):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            name="stall-only",
+            specs=(FaultSpec("ssd.die_stall", probability=1.0,
+                             magnitude=50_000.0),),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert main(["chaos", "--smoke", "--seed", "2",
+                     "--plan", str(path)]) == 0
+        text = capsys.readouterr().out
+        assert "ssd.die_stall=" in text
+
+    def test_bad_plan_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "wall_clock": true}')
+        assert main(["chaos", "--smoke", "--plan", str(path)]) == 1
+        assert "not a fault plan" in capsys.readouterr().err
+
+    def test_worker_counts_agree(self, tmp_path):
+        outs = []
+        for workers, name in ((1, "a.json"), (2, "b.json")):
+            out = tmp_path / name
+            assert main(["chaos", "--smoke", "--seed", "5",
+                         "--workers", str(workers),
+                         "--json", str(out)]) == 0
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]

@@ -328,3 +328,66 @@ class TestLatencyStats:
         # row() stays byte-compatible with the seed format: no p999 field
         assert "p999" not in stats.row()
         assert "p99=" in stats.row()
+
+
+# ---------------------------------------------------------------------------
+# fault/resilience events (repro.faults)
+# ---------------------------------------------------------------------------
+class TestFaultStats:
+    def test_fault_events_aggregate_and_render(self):
+        events = [
+            TraceEvent(0, "fault_injected", {"fault": "ssd.die_stall",
+                                             "die": 1, "ts": 100.0}),
+            TraceEvent(1, "fault_injected", {"fault": "ssd.die_stall",
+                                             "die": 1, "ts": 200.0}),
+            TraceEvent(2, "fault_injected", {"fault": "flash.bitflip",
+                                             "block": 0, "wordline": 3}),
+            TraceEvent(3, "breaker_trip", {"die": 1, "ts": 300.0,
+                                           "failures": 4, "state": "open"}),
+            TraceEvent(4, "breaker_trip", {"die": 1, "ts": 900.0,
+                                           "failures": 1, "state": "reopen"}),
+            TraceEvent(5, "degraded_read", {"die": 1, "block": 0, "ts": 310.0,
+                                            "reason": "breaker_open"}),
+        ]
+        stats = aggregate(events)
+        assert stats.faults_by_kind == {"ssd.die_stall": 2, "flash.bitflip": 1}
+        assert stats.faults_injected == 3
+        assert stats.breaker_trips_by_die == {1: 2}
+        assert stats.degraded_by_reason == {"breaker_open": 1}
+        assert stats.unknown_kinds == {}  # registered kinds, not flagged
+        text = render(stats)
+        assert "faults:" in text
+        assert "ssd.die_stall=2" in text
+        assert "breaker trips: 2 (die1=2)" in text
+        assert "degraded reads: 1 (breaker_open=1)" in text
+
+    def test_unknown_kinds_still_flagged(self):
+        stats = aggregate([TraceEvent(0, "quantum_flip", {})])
+        assert stats.unknown_kinds == {"quantum_flip": 1}
+        assert "unrecognized event kinds" in render(stats)
+
+    def test_every_emitted_kind_in_src_is_registered(self):
+        """Grep every ``.emit("<kind>", ...)`` literal under src/ — a new
+        call site must register its kind in EVENT_KINDS or stats replay
+        would flag first-party traces as foreign."""
+        import os
+        import re
+
+        from repro.obs.trace import EVENT_KINDS
+
+        src_root = os.path.join(
+            os.path.dirname(__file__), os.pardir, "src", "repro"
+        )
+        pattern = re.compile(r'\.emit\(\s*"([a-z0-9_.]+)"')
+        emitted = set()
+        for dirpath, _dirs, files in os.walk(src_root):
+            for name in files:
+                if not name.endswith(".py"):
+                    continue
+                with open(os.path.join(dirpath, name), encoding="utf-8") as fh:
+                    emitted.update(pattern.findall(fh.read()))
+        assert emitted  # the scan itself must find the call sites
+        unregistered = emitted - EVENT_KINDS
+        assert not unregistered, (
+            f"emit() kinds missing from EVENT_KINDS: {sorted(unregistered)}"
+        )
