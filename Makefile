@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke clean
 
 install:
 	pip install -e .[test]
@@ -39,6 +39,10 @@ serve-smoke:
 
 chaos-smoke:
 	$(PYTHON) -m repro chaos --smoke --seed 1 --workers 2
+
+replay-smoke:
+	$(PYTHON) -m repro replay --trace tests/data/msr_sample.csv --smoke \
+		--batch --workers 2 --json .replay-smoke.json
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

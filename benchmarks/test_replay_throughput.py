@@ -1,0 +1,120 @@
+"""Trace replay throughput: batched vs unbatched die scheduling.
+
+Drives the replay frontend (``repro.replay``) with a hot-footprint
+read-mostly trace at three load levels, with the batched die scheduler on
+and off.  The hot footprint makes co-arriving same-wordline reads common —
+the case the batcher exists for: one wordline activation and one sentinel
+inference serve the whole batch, so under pressure the batched runs drain
+the same offered load sooner (higher completed IOPS, fewer sheds).
+Results land in ``BENCH_replay.json`` next to this file.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.exp.common import sim_spec
+from repro.replay import ReplayConfig, replay_trace
+from repro.service import synthetic_profiles
+from repro.ssd import NandTiming, SsdConfig
+from repro.traces.trace import Trace, TraceRequest
+from repro.util.rng import derive_rng
+
+#: offered arrival rate of the generated trace (requests/s)
+LOAD_LEVELS = {"low": 2000.0, "medium": 8000.0, "high": 20000.0}
+N_REQUESTS = 1500
+#: distinct 4-KiB-aligned pages the trace touches — small on purpose, so
+#: bursts pile co-arriving reads onto the same wordlines
+HOT_PAGES = 48
+OUT_PATH = Path(__file__).parent / "BENCH_replay.json"
+
+SPEC = sim_spec("tlc", cells_per_wordline=4096)
+SSD_CONFIG = SsdConfig(
+    channels=2, dies_per_channel=2, blocks_per_die=64, pages_per_block=64
+)
+
+
+def hot_trace(iops, seed=11):
+    """Read-mostly Poisson arrivals over a tiny skewed footprint."""
+    rng = derive_rng(seed, "bench", "replay", int(iops))
+    times = rng.exponential(1.0 / iops, size=N_REQUESTS).cumsum()
+    is_read = rng.random(N_REQUESTS) < 0.9
+    # zipf-ish skew: square a uniform draw so low page ranks dominate
+    pages = (rng.random(N_REQUESTS) ** 2 * HOT_PAGES).astype(int)
+    return Trace(
+        f"hot-{iops:.0f}",
+        [
+            TraceRequest(
+                time_s=float(times[i]),
+                op="R" if is_read[i] else "W",
+                lba_bytes=int(pages[i]) * 4096,
+                size_bytes=4096,
+            )
+            for i in range(N_REQUESTS)
+        ],
+    )
+
+
+def run_level(trace, batch_enabled):
+    report = replay_trace(
+        trace,
+        spec=SPEC,
+        ssd_config=SSD_CONFIG,
+        timing=NandTiming(),
+        profiles=synthetic_profiles("tlc"),
+        seed=3,
+        config=ReplayConfig(batch_enabled=batch_enabled),
+    )
+    assert report.balanced, trace.name
+    batch = report.service.get("batch", {})
+    return {
+        "offered_iops": report.offered_iops,
+        "completed_iops": report.completed_iops,
+        "shed": report.accounting["shed"],
+        "horizon_us": report.horizon_us,
+        "batches": batch.get("batches", 0.0),
+        "coalesced_reads": batch.get("coalesced_reads", 0.0),
+        "max_batch": batch.get("max_batch", 0.0),
+    }
+
+
+def bench():
+    results = {}
+    for level, iops in LOAD_LEVELS.items():
+        trace = hot_trace(iops)
+        results[level] = {
+            "batched": run_level(trace, batch_enabled=True),
+            "unbatched": run_level(trace, batch_enabled=False),
+        }
+    return results
+
+
+def test_replay_throughput(benchmark):
+    results = benchmark.pedantic(bench, rounds=1, iterations=1)
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    rows = []
+    for level, pair in results.items():
+        for mode in ("batched", "unbatched"):
+            r = pair[mode]
+            rows.append((
+                level,
+                mode,
+                f"{r['offered_iops']:.0f}",
+                f"{r['completed_iops']:.0f}",
+                f"{r['shed']}",
+                f"{r['batches']:.0f}",
+                f"{r['coalesced_reads']:.0f}",
+            ))
+    emit(
+        "Trace replay (hot footprint): batched vs unbatched die scheduling",
+        rows,
+        headers=["load", "mode", "offered", "completed IOPS", "shed",
+                 "batches", "coalesced"],
+    )
+    high = results["high"]
+    # the contract the batcher is sold on: at the highest load it must not
+    # serve slower than the unbatched scheduler, and it must actually batch
+    assert high["batched"]["completed_iops"] >= high["unbatched"]["completed_iops"]
+    assert high["batched"]["batches"] > 0
+    assert high["batched"]["shed"] <= high["unbatched"]["shed"]

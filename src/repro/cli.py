@@ -19,6 +19,11 @@ Commands
 ``bench``         core read-path benchmark: wordline read throughput plus
                   serial-vs-parallel profile measurement (``--smoke`` for
                   CI); writes ``BENCH_core.json``.
+``replay``        trace-driven replay of a block-level trace (MSR CSV or
+                  synthetic workload) through the serving layer, with
+                  optional batched die scheduling (``--batch``) and
+                  sharded preprocessing (``--workers``); exits non-zero
+                  if the request accounting identity breaks.
 
 Global flags: ``-v`` raises verbosity, ``-q`` silences informational
 output; ``simulate``/``read`` accept ``--obs-trace``/``--obs-prom`` to
@@ -322,6 +327,95 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a block-level trace through the serving layer.
+
+    Deterministic end to end: the replay report's JSON is byte-identical
+    for any ``--workers`` count (only the pure LBA translation is
+    sharded; the event simulation runs on one virtual clock).  Exits
+    non-zero when served + degraded + shed != offered.
+    """
+    from repro.replay import ReplayConfig, replay_trace
+    from repro.service import measure_service_profiles, synthetic_profiles
+    from repro.ssd.config import SsdConfig
+    from repro.ssd.timing import NandTiming
+    from repro.traces.msr import load_msr_trace
+    from repro.traces.synthetic import MSR_WORKLOADS, generate_workload
+
+    if bool(args.trace) == bool(args.synthetic):
+        print("repro replay: exactly one of --trace / --synthetic is "
+              "required", file=sys.stderr)
+        return 2
+    _maybe_enable_obs(args)
+    max_requests = args.requests
+    if args.smoke:
+        max_requests = min(max_requests or 300, 300)
+    if args.trace:
+        try:
+            trace = load_msr_trace(args.trace, max_requests=max_requests)
+        except OSError as exc:
+            print(f"repro replay: cannot read trace {args.trace}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"repro replay: {args.trace} is not an MSR CSV: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        trace = generate_workload(
+            MSR_WORKLOADS[args.synthetic],
+            n_requests=max_requests or 4000,
+            seed=args.seed,
+        )
+    if args.measured and not args.smoke:
+        echo(f"measuring cold/warm sentinel profiles on the aged "
+             f"{args.kind} evaluation block ...")
+        profiles = measure_service_profiles(args.kind, workers=args.workers)
+    else:
+        # synthetic retry mixtures: chip-free, seconds, deterministic —
+        # the right default for an acceptance/CI command
+        profiles = synthetic_profiles(args.kind)
+    spec = _spec(args.kind, args.cells)
+    config = SsdConfig.for_spec(
+        spec, channels=2, dies_per_channel=2, blocks_per_die=64
+    )
+    echo(trace.describe())
+    report = replay_trace(
+        trace,
+        spec=spec,
+        ssd_config=config,
+        timing=NandTiming(),
+        profiles=profiles,
+        seed=args.seed,
+        config=ReplayConfig(
+            scale=args.scale,
+            batch_enabled=args.batch,
+            batch_limit=args.batch_limit,
+            workers=args.workers,
+        ),
+    )
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro replay: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"replay report -> {args.json}")
+    status = _export_obs(args)
+    if not report.balanced:
+        acc = report.accounting
+        print(f"repro replay: FAIL: request accounting imbalanced "
+              f"(served {acc.get('served')} + degraded {acc.get('degraded')} "
+              f"+ shed {acc.get('shed')} != offered {acc.get('offered')})",
+              file=sys.stderr)
+        return 1
+    return status
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -501,6 +595,13 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
+# mirror of repro.traces.synthetic.MSR_WORKLOADS — listed here so the
+# parser builds without importing numpy (a test pins the two in sync)
+_REPLAY_WORKLOADS = (
+    "hm_0", "mds_0", "prn_0", "proj_0",
+    "rsrch_0", "src2_0", "stg_0", "usr_0",
+)
+
 _FIGURES = {
     "fig2": ("repro.exp.fig2", "run_fig2"),
     "fig3": ("repro.exp.fig3", "run_fig3"),
@@ -657,6 +758,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench report path (empty string disables)")
     add_workers(p, default=0)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "replay",
+        help="replay a block-level trace through the serving layer",
+    )
+    add_common(p)
+    p.add_argument("--trace", metavar="PATH",
+                   help="MSR-Cambridge CSV trace to replay")
+    p.add_argument("--synthetic", choices=_REPLAY_WORKLOADS,
+                   help="generate and replay a synthetic MSR stand-in")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="time compression: arrivals at 1/scale of the "
+                        "trace's recorded gaps")
+    p.add_argument("--batch", action="store_true",
+                   help="enable batched die scheduling (coalesce co-queued "
+                        "same-wordline reads behind one sentinel inference)")
+    p.add_argument("--batch-limit", type=int, default=8,
+                   help="reads per batch at most, leader included")
+    p.add_argument("--requests", type=int, default=None,
+                   help="cap the replayed request count (synthetic default "
+                        "4000)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized run: at most 300 requests, synthetic "
+                        "retry profiles")
+    p.add_argument("--measured", action="store_true",
+                   help="measure cold/warm profiles on the aged evaluation "
+                        "block instead of using synthetic mixtures")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON replay report here")
+    add_workers(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "chaos",

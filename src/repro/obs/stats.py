@@ -16,7 +16,10 @@ into the three views the paper's evaluation keeps coming back to:
   (see :mod:`repro.engine`);
 * **faults** — injections by kind, breaker trips per die and degraded
   reads by reason from ``fault_injected``/``breaker_trip``/
-  ``degraded_read`` events (see :mod:`repro.faults`).
+  ``degraded_read`` events (see :mod:`repro.faults`);
+* **trace replay** — batches and coalesced reads from ``batch_coalesce``
+  events plus the last ``replay_tick`` progress snapshot (see
+  :mod:`repro.replay`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -78,6 +81,15 @@ class TraceStats:
     breaker_trips_by_die: Dict[int, int] = field(default_factory=dict)
     #: degraded-read reason -> count
     degraded_by_reason: Dict[str, int] = field(default_factory=dict)
+    # trace-replay events (repro.replay, batched die scheduling)
+    batches: int = 0
+    batch_coalesced_reads: int = 0
+    batch_max_size: int = 0
+    #: die index -> batches served by that die's lane
+    batches_by_die: Dict[int, int] = field(default_factory=dict)
+    replay_ticks: int = 0
+    #: the last ``replay_tick`` snapshot seen (offered/completed/shed)
+    replay_last: Dict[str, float] = field(default_factory=dict)
     #: kinds outside ``EVENT_KINDS`` (traces from newer builds)
     unknown_kinds: Dict[str, int] = field(default_factory=dict)
 
@@ -210,6 +222,19 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
             stats.degraded_by_reason[reason] = (
                 stats.degraded_by_reason.get(reason, 0) + 1
             )
+        elif event.kind == "batch_coalesce":
+            stats.batches += 1
+            size = int(f.get("size", 0))
+            stats.batch_coalesced_reads += max(size - 1, 0)
+            stats.batch_max_size = max(stats.batch_max_size, size)
+            die = int(f.get("die", -1))
+            stats.batches_by_die[die] = stats.batches_by_die.get(die, 0) + 1
+        elif event.kind == "replay_tick":
+            stats.replay_ticks += 1
+            stats.replay_last = {
+                key: float(f.get(key, 0.0))
+                for key in ("ts", "offered", "completed", "shed")
+            }
         elif event.kind not in EVENT_KINDS:
             stats.unknown_kinds[event.kind] = (
                 stats.unknown_kinds.get(event.kind, 0) + 1
@@ -328,6 +353,29 @@ def render(stats: TraceStats, width: int = 48) -> str:
             )
             lines.append(
                 f"  degraded reads: {stats.degraded_reads} ({per_reason})"
+            )
+        sections.append("\n".join(lines))
+
+    if stats.batches or stats.replay_ticks:
+        lines = ["trace replay:"]
+        if stats.batches:
+            per_die = ", ".join(
+                f"die{die}={count}"
+                for die, count in sorted(stats.batches_by_die.items())
+            )
+            lines.append(
+                f"  batched die scheduling: {stats.batches} batches, "
+                f"{stats.batch_coalesced_reads} reads coalesced "
+                f"(largest {stats.batch_max_size}; {per_die})"
+            )
+        if stats.replay_ticks:
+            last = stats.replay_last
+            lines.append(
+                f"  progress ticks: {stats.replay_ticks} (last at "
+                f"{last.get('ts', 0.0):.0f} us: "
+                f"{last.get('completed', 0.0):.0f}/"
+                f"{last.get('offered', 0.0):.0f} done, "
+                f"{last.get('shed', 0.0):.0f} shed)"
             )
         sections.append("\n".join(lines))
 

@@ -52,6 +52,12 @@ kind                  fields
                       the degraded fallback-table path (``reason`` is
                       ``breaker_open``, ``retries_exhausted`` or
                       ``request_timeout``)
+``batch_coalesce``    ``die, block, wordline, size, ts`` — the batched die
+                      scheduler served ``size`` co-queued reads of one
+                      (die, block, wordline) off a single wordline
+                      activation/sentinel inference (:mod:`repro.replay`)
+``replay_tick``       ``ts, offered, completed, shed`` — periodic progress
+                      snapshot of a trace replay in virtual time
 ====================  ====================================================
 """
 
@@ -87,6 +93,9 @@ EVENT_KINDS = frozenset(
         "fault_injected",
         "breaker_trip",
         "degraded_read",
+        # trace replay (repro.replay, batched die scheduling)
+        "batch_coalesce",
+        "replay_tick",
     }
 )
 

@@ -1,0 +1,31 @@
+"""Trace-driven replay frontend for the serving layer.
+
+Maps block-level trace requests (MSR CSV or synthetic) onto the
+:class:`~repro.service.broker.FlashReadService` broker: LBA -> logical
+page translation (sharded, byte-identical at any worker count), open-loop
+arrival scheduling in virtual time with optional time compression, and
+batched die scheduling — co-arriving reads of one (die, block, wordline)
+served off a single wordline activation and sentinel inference.
+
+Entry points: :func:`replay_trace` (library), ``python -m repro replay``
+(CLI).  See ``docs/SERVICE.md``, section "Trace replay".
+"""
+
+from repro.replay.frontend import ReplayConfig, replay_trace
+from repro.replay.report import ReplayReport
+from repro.replay.translate import (
+    LbaTranslator,
+    TranslatedRequest,
+    plan_request_shards,
+    translate_trace,
+)
+
+__all__ = [
+    "LbaTranslator",
+    "ReplayConfig",
+    "ReplayReport",
+    "TranslatedRequest",
+    "plan_request_shards",
+    "replay_trace",
+    "translate_trace",
+]

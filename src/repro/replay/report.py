@@ -1,0 +1,118 @@
+"""The replay report: what one trace replay produced.
+
+Deterministic and **worker-count-free**: every field derives from the
+virtual-time simulation and the trace itself, so ``to_json()`` is
+byte-identical across ``--workers 1/2/4`` (the engine's wall-clock
+accounting deliberately never lands here).  The request accounting
+identity carried over from the chaos subsystem —
+``served + degraded + shed == offered`` — is evaluated in
+:attr:`accounting` and turned into an exit status by ``repro replay``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ReplayReport:
+    """Aggregates of one trace replay through the serving layer."""
+
+    trace_name: str
+    seed: int
+    #: time compression applied to the trace's arrivals
+    scale: float
+    batch_enabled: bool
+    #: offered = every request of the (possibly truncated) trace
+    offered: int
+    reads: int
+    writes: int
+    #: pages the LBA translation produced, by direction
+    read_pages: int = 0
+    write_pages: int = 0
+    #: MSR parser's sector clamp count (``Trace.meta``)
+    clamped_records: int = 0
+    #: pages cut from oversized requests by the translation cap
+    truncated_pages: int = 0
+    #: last-minus-first arrival of the source trace (0 for <= 1 request)
+    trace_duration_s: float = 0.0
+    #: virtual horizon of the replay
+    horizon_us: float = 0.0
+    #: offered / scaled trace duration; 0 when the duration is degenerate
+    offered_iops: float = 0.0
+    #: completions / virtual horizon; 0 when the horizon is degenerate
+    completed_iops: float = 0.0
+    #: offered/served/degraded/shed counts plus the ``balanced`` verdict
+    accounting: Dict[str, int] = field(default_factory=dict)
+    #: the embedded ``ServiceReport`` payload (already JSON-shaped)
+    service: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def balanced(self) -> bool:
+        return bool(self.accounting.get("balanced", False))
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = asdict(self)
+        # JSON has no int-keyed objects; mirror ServiceReport's massaging
+        # (the embedded service payload is already stringified)
+        payload["accounting"] = {
+            k: (bool(v) if k == "balanced" else int(v))
+            for k, v in sorted(self.accounting.items())
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        acc = self.accounting
+        lines: List[str] = [
+            (
+                f"replay report: {self.trace_name} (seed {self.seed}, "
+                f"scale x{self.scale:g}, batching "
+                f"{'on' if self.batch_enabled else 'off'})"
+            ),
+            (
+                f"  offered {self.offered} requests "
+                f"({self.reads} reads / {self.writes} writes; "
+                f"{self.read_pages} read pages, {self.write_pages} "
+                f"write pages)"
+            ),
+            (
+                f"  trace span {self.trace_duration_s:.3f}s -> "
+                f"{self.horizon_us / 1e6:.3f}s virtual; offered "
+                f"{self.offered_iops:.0f} IOPS, completed "
+                f"{self.completed_iops:.0f} IOPS"
+            ),
+            (
+                f"  accounting: {acc.get('served', 0)} served + "
+                f"{acc.get('degraded', 0)} degraded + "
+                f"{acc.get('shed', 0)} shed = "
+                f"{acc.get('served', 0) + acc.get('degraded', 0) + acc.get('shed', 0)} "
+                f"vs {acc.get('offered', 0)} offered "
+                f"({'balanced' if self.balanced else 'IMBALANCED'})"
+            ),
+        ]
+        if self.clamped_records or self.truncated_pages:
+            lines.append(
+                f"  touched up: {self.clamped_records} sub-sector records "
+                f"clamped, {self.truncated_pages} pages cut from oversized "
+                f"requests"
+            )
+        batch = self.service.get("batch") or {}
+        if batch:
+            lines.append(
+                f"  batches: {batch.get('batches', 0):.0f} served "
+                f"{batch.get('coalesced_reads', 0):.0f} coalesced reads "
+                f"(largest {batch.get('max_batch', 0):.0f})"
+            )
+        cache = self.service.get("cache") or {}
+        if cache:
+            lines.append(
+                f"  voltage cache: {cache.get('hits', 0):.0f}/"
+                f"{cache.get('lookups', 0):.0f} hits "
+                f"({cache.get('hit_rate', 0.0):.1%})"
+            )
+        return "\n".join(lines)

@@ -70,6 +70,15 @@ class ServiceConfig:
     die_queue_limit: int = 16  # pending chains per die
     cache_enabled: bool = True
     scrub_enabled: bool = True
+    #: batched die scheduling: when a die starts a single-read chain, other
+    #: queued single-read chains of the same (block, wordline) are served
+    #: with it — one sentinel inference (the leader's retry discovery)
+    #: covers the whole batch, followers pay sense-at-known-offsets or
+    #: transfer only.  Off by default: the synthetic serving scenarios and
+    #: their goldens predate batching; the trace-replay frontend turns it on.
+    batch_enabled: bool = False
+    #: reads coalesced into one batch at most (leader included)
+    batch_limit: int = 8
     slo_window_us: float = 250_000.0
     #: one read op is aborted (and counted a failure) past this budget
     op_timeout_us: float = 20_000.0
@@ -91,6 +100,8 @@ class ServiceConfig:
             raise ValueError("admit_limit must be positive")
         if self.die_queue_limit < 1:
             raise ValueError("die_queue_limit must be positive")
+        if self.batch_limit < 1:
+            raise ValueError("batch_limit must be positive")
         if self.op_timeout_us <= 0:
             raise ValueError("op_timeout_us must be positive")
         if self.request_timeout_us < self.op_timeout_us:
@@ -174,6 +185,10 @@ class FlashReadService:
         ]
         #: resilience-path counters; stays empty without an active campaign
         self.resilience: Dict[str, float] = {}
+        #: batched die-scheduling counters (only reported when enabled)
+        self.batch_stats: Dict[str, int] = {
+            "batches": 0, "coalesced_reads": 0, "max_batch": 0,
+        }
         #: erase count per (die, block) — the P/E signal of drift invalidation
         self._erases: Dict[Tuple[int, int], int] = {}
         self.retry_histogram: Dict[int, int] = {}
@@ -212,7 +227,34 @@ class FlashReadService:
         all_requests: Dict[str, List[ServiceRequest]] = {
             c.name: generate_requests(c, seed=self.seed) for c in clients
         }
-        self._client_mode = {c.name: c.mode for c in clients}
+        return self.run_prepared(
+            all_requests,
+            modes={c.name: c.mode for c in clients},
+            queue_depths={c.name: c.queue_depth for c in clients},
+            scenario=scenario,
+        )
+
+    def run_prepared(
+        self,
+        all_requests: Dict[str, List[ServiceRequest]],
+        modes: Optional[Dict[str, str]] = None,
+        queue_depths: Optional[Dict[str, int]] = None,
+        scenario: str = "custom",
+    ) -> ServiceReport:
+        """Serve pre-built per-client request streams to completion.
+
+        The entry point of the trace-replay frontend (:mod:`repro.replay`),
+        which builds its requests from a parsed block-level trace instead of
+        a :class:`ClientSpec`.  Clients default to open-loop (``"poisson"``
+        mode: every request must carry an absolute ``arrival_us``); closed
+        clients additionally need a ``queue_depths`` entry.  Scheduling
+        order is the dict's insertion order, so callers control tie-breaks
+        deterministically."""
+        modes = modes or {}
+        queue_depths = queue_depths or {}
+        self._client_mode = {
+            name: modes.get(name, "poisson") for name in all_requests
+        }
         # precondition the union footprint so reads hit mapped pages
         touched = set()
         for requests in all_requests.values():
@@ -222,19 +264,22 @@ class FlashReadService:
         self.ftl.precondition(sorted(touched))
 
         self._remaining = sum(len(r) for r in all_requests.values())
-        for client in clients:
-            requests = all_requests[client.name]
-            if client.mode == "poisson":
+        for name, requests in all_requests.items():
+            if self._client_mode[name] == "poisson":
                 for req in requests:
+                    if req.arrival_us is None:
+                        raise ValueError(
+                            f"open-loop request of {name!r} lacks arrival_us"
+                        )
                     self.queue.schedule(
                         req.arrival_us, lambda r=req: self._issue(r)
                     )
             else:
                 pending = deque(requests)
-                self._closed_pending[client.name] = pending
-                for _ in range(min(client.queue_depth, len(pending))):
+                self._closed_pending[name] = pending
+                for _ in range(min(queue_depths.get(name, 1), len(pending))):
                     self.queue.schedule(
-                        0.0, lambda n=client.name: self._issue_next_closed(n)
+                        0.0, lambda n=name: self._issue_next_closed(n)
                     )
         self.queue.run()
         return self._report(scenario)
@@ -330,11 +375,87 @@ class FlashReadService:
             return
         inflight, ops = lane.queue.popleft()
         lane.busy = True
+        followers = (
+            self._coalesce(lane, ops) if self.config.batch_enabled else []
+        )
         duration = sum(self._op_duration_us(op, inflight) for op in ops)
+        for _, f_ops in followers:
+            duration += self._follower_read_us(f_ops[0], ops[0])
+        members = [inflight] + [f_inflight for f_inflight, _ in followers]
         lane.busy_us += duration
         self.queue.schedule_after(
-            duration, lambda: self._chain_done(lane, inflight)
+            duration, lambda: self._chains_done(lane, members)
         )
+
+    # ------------------------------------------------------------------
+    # batched die scheduling (trace replay)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _batchable(ops: List[PhysicalOp]) -> bool:
+        """Only plain single-read chains coalesce — writes and GC chains
+        mutate FTL/die state and keep their own service slots."""
+        return len(ops) == 1 and ops[0].kind == "read"
+
+    def _wordline_of(self, op: PhysicalOp) -> int:
+        return op.page // self.spec.pages_per_wordline
+
+    def _coalesce(
+        self, lane: _DieLane, leader_ops: List[PhysicalOp]
+    ) -> List[Tuple[_InFlight, List[PhysicalOp]]]:
+        """Pull co-queued same-(block, wordline) reads behind the leader.
+
+        Everything already waiting in the lane when the leader starts is
+        "co-arriving" at die granularity: the sense hasn't begun, so the
+        controller is free to serve those reads off the same wordline
+        activation and sentinel inference.  Queue order of the remaining
+        chains is preserved, so coalescing is deterministic."""
+        if not self._batchable(leader_ops):
+            return []
+        leader = leader_ops[0]
+        key = (leader.block, self._wordline_of(leader))
+        picked: List[Tuple[_InFlight, List[PhysicalOp]]] = []
+        rest: Deque[Tuple[_InFlight, List[PhysicalOp]]] = deque()
+        budget = self.config.batch_limit - 1
+        for item in lane.queue:
+            ops = item[1]
+            if (
+                len(picked) < budget
+                and self._batchable(ops)
+                and (ops[0].block, self._wordline_of(ops[0])) == key
+            ):
+                picked.append(item)
+            else:
+                rest.append(item)
+        if picked:
+            lane.queue = rest
+            size = 1 + len(picked)
+            self.batch_stats["batches"] += 1
+            self.batch_stats["coalesced_reads"] += len(picked)
+            if size > self.batch_stats["max_batch"]:
+                self.batch_stats["max_batch"] = size
+            if OBS.enabled and OBS.tracer.enabled:
+                OBS.tracer.emit(
+                    "batch_coalesce",
+                    die=lane.index, block=key[0], wordline=key[1],
+                    size=size, ts=self.queue.now,
+                )
+        return picked
+
+    def _follower_read_us(
+        self, op: PhysicalOp, leader: PhysicalOp
+    ) -> float:
+        """Price one coalesced read riding the leader's wordline activation.
+
+        The leader's flow already discovered the working voltage offsets
+        (its sentinel inference covers the wordline), so a follower never
+        retries: the leader's own page type re-transfers the sensed data,
+        any other page type of the wordline senses its voltages once at the
+        known offsets."""
+        self.retry_histogram[0] = self.retry_histogram.get(0, 0) + 1
+        if self._page_type(op) == self._page_type(leader):
+            return self.timing.t_transfer_us
+        n_voltages = self.profiles[COLD].page_voltages[self._page_type(op)]
+        return self.timing.read_us(n_voltages, 0, 0)
 
     def _op_duration_us(self, op: PhysicalOp, inflight: _InFlight) -> float:
         t = self.timing
@@ -525,18 +646,21 @@ class FlashReadService:
                     state=trip,
                 )
 
-    def _chain_done(self, lane: _DieLane, inflight: _InFlight) -> None:
+    def _chains_done(self, lane: _DieLane, members: List[_InFlight]) -> None:
+        """One die service slot finished: the chain it popped plus any
+        reads coalesced into the batch complete together."""
         lane.busy = False
-        inflight.remaining -= 1
-        if inflight.remaining == 0:
-            req = inflight.request
-            latency = self.queue.now - inflight.issue_us
-            self._outstanding -= 1
-            self.slo.record_completion(
-                req.client, self.queue.now, latency, req.is_read,
-                degraded=inflight.degraded,
-            )
-            self._request_done(req)
+        for inflight in members:
+            inflight.remaining -= 1
+            if inflight.remaining == 0:
+                req = inflight.request
+                latency = self.queue.now - inflight.issue_us
+                self._outstanding -= 1
+                self.slo.record_completion(
+                    req.client, self.queue.now, latency, req.is_read,
+                    degraded=inflight.degraded,
+                )
+                self._request_done(req)
         self._start_next(lane)
 
     # ------------------------------------------------------------------
@@ -601,12 +725,16 @@ class FlashReadService:
             scrub_enabled=self.config.scrub_enabled,
             clients=self.slo.summary(horizon),
             windows={
-                name: self.slo.window_series(name)
+                name: self.slo.window_series(name, horizon_us=horizon)
                 for name in sorted(self.slo.clients)
             },
             cache=self.cache.stats() if self.config.cache_enabled else {},
             scrub=self.scrubber.stats() if self.config.scrub_enabled else {},
             retry_histogram=dict(self.retry_histogram),
+            batch=(
+                {k: float(self.batch_stats[k]) for k in sorted(self.batch_stats)}
+                if self.config.batch_enabled else {}
+            ),
             die_utilization=utilization,
             extras=extras,
             faults=(

@@ -32,6 +32,9 @@ class ServiceReport:
     scrub: Dict[str, float] = field(default_factory=dict)
     #: retries -> number of page reads that needed exactly that many
     retry_histogram: Dict[int, int] = field(default_factory=dict)
+    #: batched die-scheduling counters (batches, coalesced_reads,
+    #: max_batch); empty unless ``ServiceConfig.batch_enabled``
+    batch: Dict[str, float] = field(default_factory=dict)
     die_utilization: float = 0.0
     extras: Dict[str, float] = field(default_factory=dict)
     #: faults injected during the run, by kind (empty without a campaign)
@@ -81,9 +84,9 @@ class ServiceReport:
         payload["retry_histogram"] = {
             str(k): v for k, v in sorted(self.retry_histogram.items())
         }
-        # fault/resilience sections only exist when something happened, so
-        # fault-free reports stay byte-identical to pre-resilience ones
-        for optional in ("faults", "resilience"):
+        # fault/resilience/batch sections only exist when something
+        # happened, so plain reports stay byte-identical to earlier builds
+        for optional in ("faults", "resilience", "batch"):
             if not payload[optional]:
                 del payload[optional]
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -138,6 +141,13 @@ class ServiceReport:
             )
         else:
             sections.append("scrubber: disabled")
+        if self.batch:
+            sections.append(
+                "batched die scheduling: "
+                f"{self.batch.get('batches', 0):.0f} batches coalesced "
+                f"{self.batch.get('coalesced_reads', 0):.0f} reads "
+                f"(largest {self.batch.get('max_batch', 0):.0f})"
+            )
         if self.faults:
             sections.append(
                 "faults injected: "

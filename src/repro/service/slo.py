@@ -17,8 +17,9 @@ all aggregation is order-stable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.obs import OBS
 from repro.ssd.metrics import LatencyStats
@@ -125,17 +126,26 @@ class SloMonitor:
     # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
-    def window_series(self, client: str) -> List[Dict[str, float]]:
+    def window_series(
+        self, client: str, horizon_us: Optional[float] = None
+    ) -> List[Dict[str, float]]:
         """Fixed virtual-time windows: completions/s and read p99 each.
 
         Windows align to virtual time zero; empty windows are kept (zeroed)
-        so the series length is the horizon in windows, not the activity."""
+        so the series length is the horizon in windows, not the activity.
+        Without ``horizon_us`` the series only reaches the last completion,
+        which silently drops trailing idle windows — callers that know the
+        run's horizon (the broker's report does) must pass it so a client
+        that went quiet still shows the zeroed tail."""
         acct = self.clients.get(client)
         if acct is None or not acct.completion_times_us:
             return []
         w = self.window_us
         last = max(acct.completion_times_us)
         n_windows = int(last // w) + 1
+        if horizon_us is not None and horizon_us > 0:
+            # ceil: a horizon ending exactly on a boundary opens no window
+            n_windows = max(n_windows, int(math.ceil(horizon_us / w)))
         counts = [0] * n_windows
         read_lats: List[List[float]] = [[] for _ in range(n_windows)]
         for t in acct.completion_times_us:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -29,13 +29,24 @@ class TraceRequest:
 
 
 class Trace:
-    """An ordered sequence of requests."""
+    """An ordered sequence of requests.
 
-    def __init__(self, name: str, requests: Sequence[TraceRequest]) -> None:
+    ``meta`` carries parser-side accounting (e.g. the MSR reader's
+    ``clamped_records`` count) that is about how the trace was *obtained*
+    rather than the requests themselves.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        requests: Sequence[TraceRequest],
+        meta: Optional[Dict[str, int]] = None,
+    ) -> None:
         self.name = name
         self.requests: List[TraceRequest] = sorted(
             requests, key=lambda r: r.time_s
         )
+        self.meta: Dict[str, int] = dict(meta or {})
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -65,8 +76,8 @@ class Trace:
         return sum(r.size_bytes for r in self.requests if not r.is_read)
 
     def head(self, n: int) -> "Trace":
-        """The first ``n`` requests as a new trace."""
-        return Trace(self.name, self.requests[:n])
+        """The first ``n`` requests as a new trace (meta carries over)."""
+        return Trace(self.name, self.requests[:n], meta=self.meta)
 
     def describe(self) -> str:
         return (

@@ -1,6 +1,7 @@
 """Command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -230,6 +231,81 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "serving layer" in out
         assert "voltage cache" in out
+
+
+class TestReplayCommand:
+    FIXTURE = str(Path(__file__).parent / "data" / "msr_sample.csv")
+
+    def test_smoke_runs_and_writes_json(self, tmp_path, capsys):
+        out_json = tmp_path / "replay.json"
+        code = main([
+            "replay", "--trace", self.FIXTURE, "--smoke", "--batch",
+            "--json", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replay report" in out and "balanced" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["accounting"]["balanced"] is True
+        assert payload["trace_name"] == "msr_sample"
+        assert payload["clamped_records"] == 9
+
+    def test_worker_counts_byte_identical(self, tmp_path):
+        reports = []
+        for workers in ("1", "2", "4"):
+            path = tmp_path / f"w{workers}.json"
+            assert main([
+                "replay", "--trace", self.FIXTURE, "--smoke",
+                "--workers", workers, "--json", str(path),
+            ]) == 0
+            reports.append(path.read_text())
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_synthetic_workload(self, tmp_path):
+        path = tmp_path / "syn.json"
+        assert main([
+            "replay", "--synthetic", "usr_0", "--requests", "150",
+            "--scale", "5", "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["trace_name"] == "usr_0"
+        assert payload["scale"] == 5.0
+        assert payload["accounting"]["balanced"] is True
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["replay"]) == 2
+        assert main([
+            "replay", "--trace", self.FIXTURE, "--synthetic", "usr_0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of" in err
+
+    def test_missing_trace_fails_cleanly(self, capsys):
+        assert main(["replay", "--trace", "/nonexistent.csv"]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_parser_workload_choices_match_synthetic_module(self):
+        from repro.cli import _REPLAY_WORKLOADS
+        from repro.traces.synthetic import MSR_WORKLOADS
+
+        assert set(_REPLAY_WORKLOADS) == set(MSR_WORKLOADS)
+
+    def test_replay_exports_obs_trace(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "replay.jsonl"
+        try:
+            code = main([
+                "replay", "--trace", self.FIXTURE, "--smoke", "--batch",
+                "--scale", "200", "--obs-trace", str(trace),
+            ])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert code == 0
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "trace replay" in out
 
 
 class TestChaosCommand:

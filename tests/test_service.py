@@ -13,6 +13,7 @@ from repro.service import (
     ScrubberConfig,
     ServiceConfig,
     SloMonitor,
+    ServiceRequest,
     VoltageCacheConfig,
     VoltageOffsetCache,
     generate_requests,
@@ -187,6 +188,31 @@ class TestSloMonitor:
         assert len(series) == 3  # [0,10), [10,20) empty, [20,30)
         assert series[1]["iops"] == 0.0
 
+    def test_window_series_keeps_trailing_idle_windows(self):
+        # regression: a client that went quiet used to lose every window
+        # after its last completion — the series must span the run horizon
+        slo = SloMonitor(window_us=10.0)
+        slo.record_issue("a")
+        slo.record_completion("a", now_us=5.0, latency_us=2.0, is_read=True)
+        series = slo.window_series("a", horizon_us=55.0)
+        assert len(series) == 6  # [0,10) .. [50,60): ceil(55/10)
+        assert [w["iops"] for w in series[1:]] == [0.0] * 5
+        assert series[-1]["window_start_us"] == 50.0
+
+    def test_window_series_horizon_on_boundary_opens_no_window(self):
+        slo = SloMonitor(window_us=10.0)
+        slo.record_issue("a")
+        slo.record_completion("a", now_us=5.0, latency_us=2.0, is_read=True)
+        assert len(slo.window_series("a", horizon_us=20.0)) == 2
+        # a horizon shorter than the data never truncates the series
+        assert len(slo.window_series("a", horizon_us=1.0)) == 1
+
+    def test_summary_zero_horizon_guards_iops(self):
+        slo = SloMonitor(window_us=10.0)
+        slo.record_issue("a")
+        slo.record_completion("a", now_us=0.0, latency_us=1.0, is_read=True)
+        assert slo.summary(horizon_us=0.0)["a"]["iops"] == 0.0
+
 
 # ---------------------------------------------------------------------------
 # the serving engine
@@ -290,6 +316,94 @@ class TestFlashReadService:
         reader = mixed_scenario(n_requests=10)[0]
         with pytest.raises(ValueError):
             svc.run([reader, reader])
+
+    def test_open_loop_request_requires_arrival(self):
+        svc = make_service()
+        req = ServiceRequest(
+            client="a", index=0, is_read=True, lpn=0, n_pages=1,
+            arrival_us=None,
+        )
+        with pytest.raises(ValueError):
+            svc.run_prepared({"a": [req]})
+
+
+# ---------------------------------------------------------------------------
+# batched die scheduling
+# ---------------------------------------------------------------------------
+def _same_page_reads(n, client="burst"):
+    """n co-arriving single-page reads of one lpn: one (die, block,
+    wordline) after preconditioning, so every one is coalescible."""
+    return [
+        ServiceRequest(
+            client=client, index=i, is_read=True, lpn=5, n_pages=1,
+            arrival_us=0.0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestBatchedScheduling:
+    def test_co_arriving_same_wordline_reads_coalesce(self):
+        svc = make_service(
+            config=ServiceConfig(batch_enabled=True, batch_limit=8)
+        )
+        report = svc.run_prepared({"burst": _same_page_reads(6)})
+        assert svc.batch_stats["batches"] >= 1
+        assert svc.batch_stats["coalesced_reads"] >= 1
+        assert svc.batch_stats["max_batch"] <= 8
+        stats = report.clients["burst"]
+        assert stats["completed"] + stats["shed"] == stats["issued"] == 6
+
+    def test_batch_limit_caps_batch_size(self):
+        svc = make_service(
+            config=ServiceConfig(batch_enabled=True, batch_limit=2)
+        )
+        svc.run_prepared({"burst": _same_page_reads(6)})
+        assert svc.batch_stats["max_batch"] <= 2
+
+    def test_batching_disabled_by_default(self):
+        svc = make_service()
+        report = svc.run_prepared({"burst": _same_page_reads(6)})
+        assert svc.batch_stats["batches"] == 0
+        assert report.batch == {}
+        assert "batch" not in json.loads(report.to_json())
+
+    def test_writes_never_coalesce(self):
+        svc = make_service(
+            config=ServiceConfig(batch_enabled=True, batch_limit=8)
+        )
+        writes = [
+            ServiceRequest(
+                client="w", index=i, is_read=False, lpn=5, n_pages=1,
+                arrival_us=0.0,
+            )
+            for i in range(6)
+        ]
+        svc.run_prepared({"w": writes})
+        assert svc.batch_stats["batches"] == 0
+
+    def test_batching_finishes_sooner_than_serial(self):
+        requests = _same_page_reads(8)
+        batched = make_service(
+            config=ServiceConfig(batch_enabled=True)
+        ).run_prepared({"burst": list(requests)})
+        serial = make_service().run_prepared({"burst": list(requests)})
+        assert batched.horizon_us < serial.horizon_us
+        # both served the same reads; batch followers land in bin 0
+        assert sum(batched.retry_histogram.values()) == sum(
+            serial.retry_histogram.values()
+        )
+
+    def test_batch_section_in_report_json(self):
+        svc = make_service(config=ServiceConfig(batch_enabled=True))
+        report = svc.run_prepared({"burst": _same_page_reads(4)})
+        payload = json.loads(report.to_json())
+        assert payload["batch"]["batches"] >= 1
+        assert "batches coalesced" in report.render()
+
+    def test_batch_limit_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_limit=0)
 
 
 # ---------------------------------------------------------------------------

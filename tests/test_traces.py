@@ -101,6 +101,38 @@ class TestMsrParsing:
         assert trace.name == "hm_0"
         assert len(trace) == 3
 
+    def test_out_of_order_lines_rebase_to_minimum_tick(self):
+        # completion-ordered logging: the second line happened 2 ms BEFORE
+        # the first; rebasing to the first tick used to make it negative
+        lines = [
+            "128166372003061629,hm,0,Read,0,4096,100",
+            "128166372003041629,hm,0,Read,4096,4096,100",
+        ]
+        trace = parse_msr_csv(lines)
+        assert all(r.time_s >= 0 for r in trace)
+        assert trace.requests[0].time_s == 0.0  # the min-tick record
+        assert trace.requests[0].lba_bytes == 4096
+        assert trace.requests[1].time_s == pytest.approx(2e-3)
+
+    def test_sub_sector_sizes_clamped_and_counted(self):
+        lines = [
+            "128166372003061629,hm,0,Read,0,511,100",
+            "128166372003061630,hm,0,Write,0,1,100",
+            "128166372003061631,hm,0,Read,0,512,100",
+        ]
+        trace = parse_msr_csv(lines)
+        assert trace.meta["clamped_records"] == 2
+        assert [r.size_bytes for r in trace] == [512, 512, 512]
+
+    def test_meta_propagates_through_head(self):
+        lines = ["128166372003061629,hm,0,Read,0,1,100"] * 3
+        trace = parse_msr_csv(lines)
+        assert trace.head(2).meta["clamped_records"] == 3
+
+    def test_single_request_duration_is_zero(self):
+        trace = parse_msr_csv(["128166372003061629,hm,0,Read,0,4096,100"])
+        assert trace.duration_s == 0.0
+
 
 class TestSyntheticWorkloads:
     def test_all_eight_paper_workloads_present(self):
