@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke clean
 
 install:
 	pip install -e .[test]
@@ -43,6 +43,14 @@ chaos-smoke:
 replay-smoke:
 	$(PYTHON) -m repro replay --trace tests/data/msr_sample.csv --smoke \
 		--batch --workers 2 --json .replay-smoke.json
+
+obs-smoke:
+	$(PYTHON) -m repro replay --synthetic hm_0 --smoke --seed 1 \
+		--obs-trace .obs-smoke-trace.jsonl \
+		--obs-spans .obs-smoke-spans.jsonl \
+		--obs-prom .obs-smoke-metrics.prom
+	$(PYTHON) -m repro stats .obs-smoke-trace.jsonl
+	$(PYTHON) -m repro spans .obs-smoke-spans.jsonl --check --top 1
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

@@ -75,15 +75,22 @@ def bar_chart(
     if len(labels) != len(values):
         raise ValueError("labels and values length mismatch")
     if len(labels) == 0:
-        return title or ""
+        # an explicit row, not an empty string: a silently blank chart
+        # reads as a rendering bug rather than an empty dataset
+        return f"{title}\n(no samples)" if title else "(no samples)"
     vals = np.asarray(values, dtype=float)
-    peak = float(vals.max()) if float(vals.max()) > 0 else 1.0
+    finite = vals[np.isfinite(vals)]
+    peak = float(finite.max()) if finite.size and float(finite.max()) > 0 \
+        else 1.0
     label_w = max(len(str(lab)) for lab in labels)
     lines = []
     if title:
         lines.append(title)
     for lab, v in zip(labels, vals):
-        bar = "#" * int(round(v / peak * width))
+        # non-finite values get a zero-length bar but keep their row, so
+        # a NaN bucket is visible instead of crashing the whole chart
+        frac = v / peak if np.isfinite(v) else 0.0
+        bar = "#" * int(round(frac * width))
         lines.append(f"{str(lab):>{label_w}} |{bar} {v:g}")
     return "\n".join(lines)
 

@@ -11,7 +11,12 @@ Commands
                   cache + background scrubber (``--smoke`` for CI).
 ``overhead``      sentinel space-overhead report for a chip/ratio.
 ``figure``        run one paper-figure driver and print its rows.
-``stats``         summarize an exported observability JSONL trace.
+``stats``         summarize an exported observability JSONL trace
+                  (``--follow`` tails a streaming trace live).
+``spans``         assemble causal request span trees from a trace and
+                  report the critical-path phase breakdown (``--check``
+                  exits non-zero if phases fail to reconcile with the
+                  end-to-end latencies).
 ``chaos``         fault-injection campaign: hardened serving layer plus a
                   chip-level read sweep under a declarative fault plan
                   (``--smoke`` for CI; exits non-zero if the request
@@ -26,9 +31,14 @@ Commands
                   if the request accounting identity breaks.
 
 Global flags: ``-v`` raises verbosity, ``-q`` silences informational
-output; ``simulate``/``read`` accept ``--obs-trace``/``--obs-prom`` to
-capture and export the run's events and metrics (see
-``docs/OBSERVABILITY.md``).
+output.  Observability flags (``simulate``/``read``/``serve``/``replay``/
+``chaos``): ``--obs-trace``/``--obs-prom`` capture and export the run's
+events and metrics, ``--obs-spans`` additionally records causal request
+spans (replay with ``repro spans``), ``--obs-stream`` appends trace
+events to the ``--obs-trace`` file as they happen (pair with
+``repro stats --follow`` in another terminal), and ``--obs-port`` serves
+a live Prometheus ``/metrics`` endpoint for the duration of the run
+(see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -52,11 +62,30 @@ def _maybe_enable_obs(args: argparse.Namespace) -> bool:
     """Turn on observability when an export flag asked for it."""
     trace_path = getattr(args, "obs_trace", None)
     prom_path = getattr(args, "obs_prom", None)
-    if not trace_path and not prom_path:
+    spans_path = getattr(args, "obs_spans", None)
+    port = getattr(args, "obs_port", None)
+    if not trace_path and not prom_path and not spans_path and port is None:
         return False
     from repro import obs
+    from repro.obs import OBS
 
-    obs.enable(metrics=True, tracing=bool(trace_path))
+    obs.enable(
+        metrics=True,
+        tracing=bool(trace_path or spans_path),
+        spans=bool(spans_path),
+    )
+    if trace_path and getattr(args, "obs_stream", False):
+        try:
+            OBS.tracer.stream_to(trace_path)
+        except OSError as exc:
+            print(f"obs: cannot stream trace to {trace_path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+    if port is not None:
+        from repro.obs.exposition import MetricsServer
+
+        server = MetricsServer(port=port)
+        args._obs_server = server
+        echo(f"obs: serving live metrics at {server.start()}")
     return True
 
 
@@ -70,7 +99,9 @@ def _export_obs(args: argparse.Namespace) -> int:
 
     trace_path = getattr(args, "obs_trace", None)
     prom_path = getattr(args, "obs_prom", None)
+    spans_path = getattr(args, "obs_spans", None)
     status = 0
+    OBS.tracer.close_stream()  # flush the streamed copy before re-export
     if trace_path:
         try:
             n = OBS.tracer.export_jsonl(trace_path)
@@ -93,6 +124,19 @@ def _export_obs(args: argparse.Namespace) -> int:
             status = 1
         else:
             echo(f"obs: wrote metrics exposition -> {prom_path}")
+    if spans_path:
+        try:
+            n = OBS.tracer.export_jsonl(spans_path, kinds=("span",))
+        except OSError as exc:
+            print(f"obs: cannot write spans to {spans_path}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            status = 1
+        else:
+            echo(f"obs: wrote {n} span events -> {spans_path} "
+                 f"(inspect with `repro spans {spans_path}`)")
+    server = getattr(args, "_obs_server", None)
+    if server is not None:
+        server.stop()
     return status
 
 
@@ -419,8 +463,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.stats import render, stats_from_jsonl
+    from repro.obs.stats import follow_stats, render, stats_from_jsonl
 
+    if args.follow:
+        return follow_stats(
+            args.trace,
+            interval_s=args.interval,
+            width=args.width,
+            max_updates=args.updates,
+        )
     try:
         stats = stats_from_jsonl(args.trace)
     except OSError as exc:
@@ -432,6 +483,63 @@ def cmd_stats(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     echo(render(stats, width=args.width))
+    return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """Assemble span trees from a trace and report the phase breakdown.
+
+    ``--check`` turns reconciliation into an exit status: the sum of
+    critical-path leaf durations must equal each request's end-to-end
+    latency (up to float tolerance), and there must be at least one tree.
+    """
+    import json
+
+    from repro.obs.spans import (
+        assemble,
+        export_trees_json,
+        phase_breakdown,
+        reconcile,
+        render_breakdown,
+        render_tree,
+    )
+    from repro.obs.trace import load_jsonl
+
+    try:
+        events = load_jsonl(args.trace)
+    except OSError as exc:
+        print(f"repro spans: cannot read {args.trace}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"repro spans: {args.trace} is not a JSONL trace: {exc}",
+              file=sys.stderr)
+        return 1
+    trees = assemble(events)
+    bd = phase_breakdown(trees)
+    echo(render_breakdown(bd, width=args.width))
+    for tree in trees[: max(0, args.top)]:
+        echo("")
+        echo(render_tree(tree))
+    if args.json:
+        try:
+            export_trees_json(trees, args.json)
+        except OSError as exc:
+            print(f"repro spans: cannot write trees to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"span trees -> {args.json}")
+    if args.check:
+        if not trees:
+            print("repro spans: FAIL: no span trees in trace "
+                  "(was the run missing --obs-spans?)", file=sys.stderr)
+            return 1
+        ok, delta = reconcile(trees)
+        if not ok:
+            print(f"repro spans: FAIL: phase sums diverge from end-to-end "
+                  f"latencies (max delta {delta:.3f} us)", file=sys.stderr)
+            return 1
+        echo("spans check: ok")
     return 0
 
 
@@ -682,6 +790,21 @@ def build_parser() -> argparse.ArgumentParser:
             "--obs-prom", metavar="PATH",
             help="enable metrics and write a Prometheus text exposition here",
         )
+        p.add_argument(
+            "--obs-spans", metavar="PATH",
+            help="record causal request spans and export them as JSONL "
+                 "here (inspect with `repro spans`)",
+        )
+        p.add_argument(
+            "--obs-port", type=int, metavar="PORT",
+            help="serve live Prometheus metrics on 127.0.0.1:PORT for the "
+                 "duration of the run (0 picks a free port)",
+        )
+        p.add_argument(
+            "--obs-stream", action="store_true",
+            help="append events to the --obs-trace file as they happen "
+                 "(watch with `repro stats --follow` in another terminal)",
+        )
 
     p = sub.add_parser("characterize", help="fit and save a sentinel model")
     add_common(p)
@@ -833,7 +956,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="JSONL trace path (from --obs-trace)")
     p.add_argument("--width", type=int, default=48,
                    help="bar-chart width in characters")
+    p.add_argument("--follow", action="store_true",
+                   help="tail the trace file and re-render the summary "
+                        "live as events stream in (Ctrl-C to stop)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="--follow refresh interval in seconds")
+    p.add_argument("--updates", type=int, default=None,
+                   help="stop --follow after N refreshes (default: "
+                        "until Ctrl-C)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "spans",
+        help="causal request span trees: critical-path phase breakdown",
+    )
+    p.add_argument("trace", help="JSONL trace path (from --obs-spans or "
+                                 "--obs-trace)")
+    p.add_argument("--top", type=int, default=3,
+                   help="render the first N span trees (0 hides them)")
+    p.add_argument("--json", metavar="PATH",
+                   help="export the assembled trees as nested JSONL here")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless phase sums reconcile with "
+                        "end-to-end latencies and at least one tree exists")
+    p.add_argument("--width", type=int, default=48,
+                   help="breakdown table width hint")
+    p.set_defaults(func=cmd_spans)
 
     return parser
 

@@ -72,7 +72,12 @@ class Observability:
     def __init__(self) -> None:
         self.metrics = MetricsRegistry(enabled=False)
         self.tracer = EventTracer(enabled=False)
+        self.tracer.on_drop = self._count_drop
         self.enabled = False
+        #: span-tree emission (``span`` events) — opt-in on top of tracing
+        #: because a span tree is ~10 events per request; hot paths guard
+        #: ``OBS.enabled and OBS.tracer.enabled and OBS.spans_enabled``.
+        self.spans_enabled = False
 
     # ------------------------------------------------------------------
     def enable(
@@ -80,25 +85,40 @@ class Observability:
         metrics: bool = True,
         tracing: bool = True,
         capacity: Optional[int] = None,
+        spans: bool = False,
     ) -> None:
         """Turn collection on (both halves by default).
 
         ``capacity`` sizes the tracer's ring buffer; omitted, it returns
         to :data:`~repro.obs.trace.DEFAULT_CAPACITY`.  A resize replaces
-        the tracer (buffered events are dropped)."""
+        the tracer (buffered events are dropped).  ``spans`` additionally
+        turns on causal span-tree emission (requires ``tracing``)."""
         self.metrics.enabled = metrics
         cap = capacity if capacity is not None else DEFAULT_CAPACITY
         if cap != self.tracer.capacity:
+            self.tracer.close_stream()
             self.tracer = EventTracer(enabled=tracing, capacity=cap)
         else:
             self.tracer.enabled = tracing
+        self.tracer.on_drop = self._count_drop
+        self.spans_enabled = bool(spans) and tracing
         self.enabled = self.metrics.enabled or self.tracer.enabled
 
     def disable(self) -> None:
         """Stop collecting; buffered data stays readable/exportable."""
         self.metrics.enabled = False
         self.tracer.enabled = False
+        self.spans_enabled = False
         self.enabled = False
+
+    def _count_drop(self) -> None:
+        """Ring-bound eviction hook: account the drop so truncated traces
+        are visible in the metrics exposition too."""
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_obs_trace_dropped_total",
+                help="trace events evicted by the ring-buffer bound",
+            ).inc()
 
     def reset(self) -> None:
         """Drop all collected metrics and events (keeps enabled flags)."""
@@ -119,8 +139,10 @@ def enable(
     metrics: bool = True,
     tracing: bool = True,
     capacity: Optional[int] = None,
+    spans: bool = False,
 ) -> Observability:
-    OBS.enable(metrics=metrics, tracing=tracing, capacity=capacity)
+    OBS.enable(metrics=metrics, tracing=tracing, capacity=capacity,
+               spans=spans)
     return OBS
 
 

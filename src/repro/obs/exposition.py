@@ -1,0 +1,117 @@
+"""Live Prometheus text-format exposition over HTTP.
+
+:class:`MetricsServer` snapshots the process-wide metrics registry on
+every ``GET /metrics`` — the standard pull model: the simulation keeps
+mutating instruments on the main thread while a daemon thread serves
+whatever the registry holds at scrape time.  ``GET /healthz`` answers
+``ok`` for liveness probes; everything else is 404.
+
+The server binds ``127.0.0.1`` by default (this is a local debugging
+surface, not a production endpoint) and ``port=0`` lets the OS pick a
+free port, which the tests use.  Start/stop is idempotent and the CLI
+(``--obs-port``) keeps one server alive for the duration of a run, so
+``curl localhost:PORT/metrics`` works against a running replay.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+#: the content type Prometheus scrapers expect for the 0.0.4 text format
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve the metrics registry's text exposition on a daemon thread."""
+
+    def __init__(
+        self,
+        registry=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if registry is None:
+            from repro.obs import OBS
+
+            registry = OBS.metrics
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> str:
+        """Bind and serve; returns the /metrics URL (resolved port)."""
+        if self._server is not None:
+            return self.url
+        registry = self.registry
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path in ("/metrics", "/"):
+                    body = _render_snapshot(registry).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type",
+                                     "text/plain; charset=utf-8")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type",
+                                     "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args) -> None:
+                pass  # scrapes must not spam the run's stdout/stderr
+
+        self._server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-obs-metrics",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        self._server = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def _render_snapshot(registry) -> str:
+    """Render with a short retry loop: the simulation thread may register
+    a new instrument mid-iteration, which surfaces as a RuntimeError from
+    dict iteration — re-rendering a moment later always converges."""
+    for _ in range(5):
+        try:
+            return registry.render_prometheus()
+        except RuntimeError:
+            continue
+    return registry.render_prometheus()

@@ -267,7 +267,9 @@ class MetricsRegistry:
             if name not in seen_header:
                 seen_header.add(name)
                 if name in self._help:
-                    lines.append(f"# HELP {name} {self._help[name]}")
+                    lines.append(
+                        f"# HELP {name} {_escape_help(self._help[name])}"
+                    )
                 lines.append(f"# TYPE {name} {kind}")
             label_str = _format_labels(labels)
             if kind == "histogram":
@@ -289,10 +291,24 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_label_value(v: str) -> str:
+    """Escape per the Prometheus text format: backslash, quote, newline."""
+    return (
+        v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
     return "{" + inner + "}"
 
 

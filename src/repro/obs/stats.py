@@ -30,7 +30,7 @@ replay.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.obs.trace import EVENT_KINDS, TraceEvent
 
@@ -90,6 +90,24 @@ class TraceStats:
     replay_ticks: int = 0
     #: the last ``replay_tick`` snapshot seen (offered/completed/shed)
     replay_last: Dict[str, float] = field(default_factory=dict)
+    # span trees (repro.obs.spans)
+    span_events: int = 0
+    #: span name -> [count, total duration us] over every span event
+    span_phase_us: Dict[str, List[float]] = field(default_factory=dict)
+    #: root-span outcome ("ok"/"degraded"/"shed") -> requests
+    span_outcomes: Dict[str, int] = field(default_factory=dict)
+    span_saved_us: float = 0.0
+    span_saved_reads: int = 0
+    # streaming SLO windows (repro.service.slo)
+    #: client -> windows closed by the watermark
+    slo_windows_by_client: Dict[str, int] = field(default_factory=dict)
+    #: client -> the last closed window's fields
+    slo_last_window: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: client -> cumulative late arrivals (from the last window event)
+    slo_late_by_client: Dict[str, int] = field(default_factory=dict)
+    # export trailer (``trace_meta``)
+    trace_dropped: int = 0
+    trace_capacity: int = 0
     #: kinds outside ``EVENT_KINDS`` (traces from newer builds)
     unknown_kinds: Dict[str, int] = field(default_factory=dict)
 
@@ -149,97 +167,138 @@ def aggregate(events: Iterable[TraceEvent]) -> TraceStats:
     """Fold an event stream into :class:`TraceStats`."""
     stats = TraceStats()
     for event in events:
-        stats.n_events += 1
-        stats.kind_counts[event.kind] = stats.kind_counts.get(event.kind, 0) + 1
-        f = event.fields
-        if event.kind == "read_attempt":
-            retries = f.get("retries")
-            if retries is not None:  # SSD-level events carry the total
-                r = int(retries)
-                stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
-        elif event.kind == "read_complete":
-            r = int(f.get("retries", 0))
-            stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
-        elif event.kind == "calibration_step":
-            case = str(f.get("case", "unknown"))
-            stats.calibration_cases[case] = (
-                stats.calibration_cases.get(case, 0) + 1
-            )
-        elif event.kind == "fallback_table":
-            stats.fallback_reads += 1
-        elif event.kind == "ecc_decode":
-            stats.ecc_decodes += 1
-            if not f.get("decoded", True):
-                stats.ecc_failures += 1
-        elif event.kind == "gc_migrate":
-            stats.gc_pages_migrated += int(f.get("migrated", 0))
-        elif event.kind in ("die_busy", "channel_busy"):
-            name = str(f.get("resource", event.kind))
-            busy = float(f.get("end", 0.0)) - float(f.get("start", 0.0))
-            stats.resource_busy_us[name] = (
-                stats.resource_busy_us.get(name, 0.0) + busy
-            )
-            stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
-        elif event.kind == "cache_hit":
-            stats.cache_hits += 1
-        elif event.kind == "cache_miss":
-            stats.cache_misses += 1
-        elif event.kind == "scrub_pass":
-            stats.scrub_passes += 1
-            stats.scrub_pages_refreshed += int(f.get("refreshed", 0))
-            stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
-        elif event.kind == "shed":
-            client = str(f.get("client", "unknown"))
-            stats.shed_by_client[client] = (
-                stats.shed_by_client.get(client, 0) + 1
-            )
-        elif event.kind == "shard_dispatch":
-            stats.engine_dispatches += 1
-            stats.engine_shards += int(f.get("shards", 0))
-            mode = str(f.get("mode", "unknown"))
-            stats.engine_modes[mode] = stats.engine_modes.get(mode, 0) + 1
-            label = str(f.get("label", "engine"))
-            stats.engine_labels[label] = stats.engine_labels.get(label, 0) + 1
-        elif event.kind == "shard_merge":
-            stats.engine_merges += 1
-            wall = float(f.get("wall_s", 0.0))
-            stats.engine_wall_seconds += wall
-            stats.engine_busy_seconds += float(f.get("busy_s", 0.0))
-            stats.engine_merge_seconds += float(f.get("merge_s", 0.0))
-            stats.engine_capacity_seconds += wall * float(f.get("workers", 1))
-        elif event.kind == "fault_injected":
-            fault = str(f.get("fault", "unknown"))
-            stats.faults_by_kind[fault] = (
-                stats.faults_by_kind.get(fault, 0) + 1
-            )
-        elif event.kind == "breaker_trip":
-            die = int(f.get("die", -1))
-            stats.breaker_trips_by_die[die] = (
-                stats.breaker_trips_by_die.get(die, 0) + 1
-            )
-        elif event.kind == "degraded_read":
-            reason = str(f.get("reason", "unknown"))
-            stats.degraded_by_reason[reason] = (
-                stats.degraded_by_reason.get(reason, 0) + 1
-            )
-        elif event.kind == "batch_coalesce":
-            stats.batches += 1
-            size = int(f.get("size", 0))
-            stats.batch_coalesced_reads += max(size - 1, 0)
-            stats.batch_max_size = max(stats.batch_max_size, size)
-            die = int(f.get("die", -1))
-            stats.batches_by_die[die] = stats.batches_by_die.get(die, 0) + 1
-        elif event.kind == "replay_tick":
-            stats.replay_ticks += 1
-            stats.replay_last = {
-                key: float(f.get(key, 0.0))
-                for key in ("ts", "offered", "completed", "shed")
-            }
-        elif event.kind not in EVENT_KINDS:
-            stats.unknown_kinds[event.kind] = (
-                stats.unknown_kinds.get(event.kind, 0) + 1
-            )
+        fold(stats, event)
     return stats
+
+
+def fold(stats: TraceStats, event: TraceEvent) -> None:
+    """Fold one event into ``stats`` (incremental form of ``aggregate``;
+    ``repro stats --follow`` feeds events through here as the trace file
+    grows)."""
+    f = event.fields
+    if event.kind == "trace_meta":
+        # export trailer, not a simulation event: don't count it
+        stats.trace_dropped = max(stats.trace_dropped,
+                                  int(f.get("dropped", 0)))
+        stats.trace_capacity = max(stats.trace_capacity,
+                                   int(f.get("capacity", 0)))
+        return
+    stats.n_events += 1
+    stats.kind_counts[event.kind] = stats.kind_counts.get(event.kind, 0) + 1
+    if event.kind == "read_attempt":
+        retries = f.get("retries")
+        if retries is not None:  # SSD-level events carry the total
+            r = int(retries)
+            stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
+    elif event.kind == "read_complete":
+        r = int(f.get("retries", 0))
+        stats.retry_histogram[r] = stats.retry_histogram.get(r, 0) + 1
+    elif event.kind == "calibration_step":
+        case = str(f.get("case", "unknown"))
+        stats.calibration_cases[case] = (
+            stats.calibration_cases.get(case, 0) + 1
+        )
+    elif event.kind == "fallback_table":
+        stats.fallback_reads += 1
+    elif event.kind == "ecc_decode":
+        stats.ecc_decodes += 1
+        if not f.get("decoded", True):
+            stats.ecc_failures += 1
+    elif event.kind == "gc_migrate":
+        stats.gc_pages_migrated += int(f.get("migrated", 0))
+    elif event.kind in ("die_busy", "channel_busy"):
+        name = str(f.get("resource", event.kind))
+        busy = float(f.get("end", 0.0)) - float(f.get("start", 0.0))
+        stats.resource_busy_us[name] = (
+            stats.resource_busy_us.get(name, 0.0) + busy
+        )
+        stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
+    elif event.kind == "cache_hit":
+        stats.cache_hits += 1
+    elif event.kind == "cache_miss":
+        stats.cache_misses += 1
+    elif event.kind == "scrub_pass":
+        stats.scrub_passes += 1
+        stats.scrub_pages_refreshed += int(f.get("refreshed", 0))
+        stats.horizon_us = max(stats.horizon_us, float(f.get("end", 0.0)))
+    elif event.kind == "shed":
+        client = str(f.get("client", "unknown"))
+        stats.shed_by_client[client] = (
+            stats.shed_by_client.get(client, 0) + 1
+        )
+    elif event.kind == "shard_dispatch":
+        stats.engine_dispatches += 1
+        stats.engine_shards += int(f.get("shards", 0))
+        mode = str(f.get("mode", "unknown"))
+        stats.engine_modes[mode] = stats.engine_modes.get(mode, 0) + 1
+        label = str(f.get("label", "engine"))
+        stats.engine_labels[label] = stats.engine_labels.get(label, 0) + 1
+    elif event.kind == "shard_merge":
+        stats.engine_merges += 1
+        wall = float(f.get("wall_s", 0.0))
+        stats.engine_wall_seconds += wall
+        stats.engine_busy_seconds += float(f.get("busy_s", 0.0))
+        stats.engine_merge_seconds += float(f.get("merge_s", 0.0))
+        stats.engine_capacity_seconds += wall * float(f.get("workers", 1))
+    elif event.kind == "fault_injected":
+        fault = str(f.get("fault", "unknown"))
+        stats.faults_by_kind[fault] = (
+            stats.faults_by_kind.get(fault, 0) + 1
+        )
+    elif event.kind == "breaker_trip":
+        die = int(f.get("die", -1))
+        stats.breaker_trips_by_die[die] = (
+            stats.breaker_trips_by_die.get(die, 0) + 1
+        )
+    elif event.kind == "degraded_read":
+        reason = str(f.get("reason", "unknown"))
+        stats.degraded_by_reason[reason] = (
+            stats.degraded_by_reason.get(reason, 0) + 1
+        )
+    elif event.kind == "batch_coalesce":
+        stats.batches += 1
+        size = int(f.get("size", 0))
+        stats.batch_coalesced_reads += max(size - 1, 0)
+        stats.batch_max_size = max(stats.batch_max_size, size)
+        die = int(f.get("die", -1))
+        stats.batches_by_die[die] = stats.batches_by_die.get(die, 0) + 1
+    elif event.kind == "replay_tick":
+        stats.replay_ticks += 1
+        stats.replay_last = {
+            key: float(f.get(key, 0.0))
+            for key in ("ts", "offered", "completed", "shed")
+        }
+    elif event.kind == "span":
+        stats.span_events += 1
+        name = str(f.get("name", "unknown"))
+        dur = float(f.get("t1", 0.0)) - float(f.get("t0", 0.0))
+        entry = stats.span_phase_us.setdefault(name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += dur
+        if f.get("parent") is None:
+            outcome = str(f.get("outcome", "ok"))
+            stats.span_outcomes[outcome] = (
+                stats.span_outcomes.get(outcome, 0) + 1
+            )
+        saved = f.get("saved_us")
+        if saved is not None:
+            stats.span_saved_us += float(saved)
+            stats.span_saved_reads += 1
+    elif event.kind == "slo_window":
+        client = str(f.get("client", "unknown"))
+        stats.slo_windows_by_client[client] = (
+            stats.slo_windows_by_client.get(client, 0) + 1
+        )
+        stats.slo_last_window[client] = {
+            key: float(f.get(key, 0.0))
+            for key in ("window_start_us", "completed", "iops",
+                        "read_p99_us")
+        }
+        stats.slo_late_by_client[client] = int(f.get("late", 0))
+    elif event.kind not in EVENT_KINDS:
+        stats.unknown_kinds[event.kind] = (
+            stats.unknown_kinds.get(event.kind, 0) + 1
+        )
 
 
 def render(stats: TraceStats, width: int = 48) -> str:
@@ -255,6 +314,14 @@ def render(stats: TraceStats, width: int = 48) -> str:
             title=f"trace: {stats.n_events} events",
         )
     )
+
+    if stats.trace_dropped:
+        sections.append(
+            f"WARNING: ring buffer dropped {stats.trace_dropped} oldest "
+            f"events (capacity {stats.trace_capacity}) — this trace is "
+            f"truncated and every aggregate below undercounts early "
+            f"activity"
+        )
 
     if stats.retry_histogram:
         ks = sorted(stats.retry_histogram)
@@ -379,6 +446,56 @@ def render(stats: TraceStats, width: int = 48) -> str:
             )
         sections.append("\n".join(lines))
 
+    if stats.span_events:
+        rows = []
+        for name in sorted(stats.span_phase_us,
+                           key=lambda n: -stats.span_phase_us[n][1]):
+            count, total = stats.span_phase_us[name]
+            count = int(count)
+            rows.append((
+                name, count, f"{total:.1f}",
+                f"{total / count:.1f}" if count else "0.0",
+            ))
+        outcomes = ", ".join(
+            f"{outcome}={count}"
+            for outcome, count in sorted(stats.span_outcomes.items())
+        )
+        lines = [
+            format_table(
+                rows,
+                headers=["span", "count", "total us", "mean us"],
+                title=(
+                    f"request spans ({stats.span_events} spans, "
+                    f"outcomes: {outcomes or 'none'})"
+                ),
+            )
+        ]
+        if stats.span_saved_reads:
+            lines.append(
+                f"  sentinel vs fallback-table estimate: saved "
+                f"{stats.span_saved_us:.1f} us over "
+                f"{stats.span_saved_reads} reads"
+            )
+        lines.append(
+            "  (per-request critical paths: `repro spans <trace>`)"
+        )
+        sections.append("\n".join(lines))
+
+    if stats.slo_windows_by_client:
+        lines = ["streaming SLO windows (closed by watermark):"]
+        for client in sorted(stats.slo_windows_by_client):
+            last = stats.slo_last_window.get(client, {})
+            late = stats.slo_late_by_client.get(client, 0)
+            lines.append(
+                f"  {client}: {stats.slo_windows_by_client[client]} closed"
+                f" (last @ {last.get('window_start_us', 0.0):.0f} us: "
+                f"{last.get('completed', 0.0):.0f} done, "
+                f"{last.get('iops', 0.0):.0f} IOPS, "
+                f"p99 {last.get('read_p99_us', 0.0):.0f} us; "
+                f"{late} late arrivals)"
+            )
+        sections.append("\n".join(lines))
+
     if stats.engine_dispatches:
         modes = ", ".join(
             f"{mode}={count}"
@@ -433,3 +550,71 @@ def stats_from_jsonl(path: str) -> TraceStats:
     from repro.obs.trace import load_jsonl
 
     return aggregate(load_jsonl(path))
+
+
+def follow_stats(
+    path: str,
+    interval_s: float = 1.0,
+    width: int = 48,
+    max_updates: Optional[int] = None,
+    out=None,
+    clear: bool = True,
+) -> int:
+    """Live terminal view: re-render as the trace file grows.
+
+    Pairs with a run started with ``--obs-trace PATH --obs-stream``: the
+    tracer flushes each event to the file as it happens and this loop
+    tails it, folding complete lines incrementally (a partial trailing
+    line stays buffered until its newline arrives).  Corrupt lines are
+    skipped rather than fatal — a live file can always be mid-write.
+    Stops after ``max_updates`` renders (tests) or on Ctrl-C; returns 0.
+    """
+    import json as _json
+    import sys
+    import time
+
+    out = out if out is not None else sys.stdout
+    stats = TraceStats()
+    buf = ""
+    fh = None
+    updates = 0
+    try:
+        while True:
+            if fh is None:
+                try:
+                    fh = open(path, "r", encoding="utf-8")
+                except OSError:
+                    pass  # not created yet: keep polling
+            if fh is not None:
+                chunk = fh.read()
+                if chunk:
+                    buf += chunk
+                    lines = buf.split("\n")
+                    buf = lines.pop()  # partial tail, if any
+                    for line in lines:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            event = TraceEvent.from_json(line)
+                        except (_json.JSONDecodeError, KeyError, ValueError):
+                            continue
+                        fold(stats, event)
+            if clear:
+                out.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+            out.write(
+                f"following {path} — {stats.n_events} events "
+                f"(Ctrl-C to stop)\n\n"
+            )
+            out.write(render(stats, width=width))
+            out.write("\n")
+            out.flush()
+            updates += 1
+            if max_updates is not None and updates >= max_updates:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if fh is not None:
+            fh.close()

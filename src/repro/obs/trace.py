@@ -58,6 +58,17 @@ kind                  fields
                       activation/sentinel inference (:mod:`repro.replay`)
 ``replay_tick``       ``ts, offered, completed, shed`` — periodic progress
                       snapshot of a trace replay in virtual time
+``span``              ``trace, span, parent, name, t0, t1`` plus free-form
+                      attributes — one node of a causal per-request span
+                      tree in virtual microseconds (``parent`` is ``None``
+                      on the root; see :mod:`repro.obs.spans`)
+``slo_window``        ``client, window_start_us, window_end_us, completed,
+                      iops, read_p99_us, late`` — one event-time SLO
+                      window closed by the watermark
+                      (:mod:`repro.service.slo`)
+``trace_meta``        ``dropped, capacity, events`` — trailer line
+                      appended by ``export_jsonl`` so a truncated trace is
+                      never misread as a complete run
 ====================  ====================================================
 """
 
@@ -66,7 +77,7 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, TextIO
 
 #: The closed set of event kinds; ``emit`` rejects anything else so field
 #: typos surface immediately instead of producing unparseable traces.
@@ -96,6 +107,12 @@ EVENT_KINDS = frozenset(
         # trace replay (repro.replay, batched die scheduling)
         "batch_coalesce",
         "replay_tick",
+        # causal span trees (repro.obs.spans)
+        "span",
+        # streaming event-time SLO windows (repro.service.slo)
+        "slo_window",
+        # export trailer written by ``export_jsonl``
+        "trace_meta",
     }
 )
 
@@ -146,6 +163,10 @@ class EventTracer:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0  # events evicted by the ring bound
+        #: called once per evicted event (``repro.obs`` wires this to the
+        #: ``repro_obs_trace_dropped_total`` counter)
+        self.on_drop: Optional[Callable[[], None]] = None
+        self._stream: Optional[TextIO] = None
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, **fields: Any) -> None:
@@ -158,8 +179,15 @@ class EventTracer:
             )
         if len(self._events) == self.capacity:
             self.dropped += 1
-        self._events.append(TraceEvent(self._seq, kind, fields))
+            if self.on_drop is not None:
+                self.on_drop()
+        event = TraceEvent(self._seq, kind, fields)
+        self._events.append(event)
         self._seq += 1
+        if self._stream is not None:
+            self._stream.write(event.to_json())
+            self._stream.write("\n")
+            self._stream.flush()
 
     def events(self) -> List[TraceEvent]:
         return list(self._events)
@@ -173,14 +201,52 @@ class EventTracer:
         self.dropped = 0
 
     # ------------------------------------------------------------------
-    def export_jsonl(self, path: str) -> int:
-        """Write the buffer as JSON Lines; returns the event count."""
+    def stream_to(self, path: str) -> None:
+        """Additionally write every subsequent event to ``path`` live.
+
+        The companion of ``repro stats --follow``: the file grows (and is
+        flushed) event by event, so a second process can tail it while the
+        run is still going.  The ring buffer is unaffected — a final
+        ``export_jsonl`` to the same path rewrites identical content plus
+        the ``trace_meta`` trailer."""
+        self.close_stream()
+        self._stream = open(path, "w", encoding="utf-8")
+
+    def close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def export_jsonl(
+        self, path: str, kinds: Optional[Iterable[str]] = None,
+        meta: bool = True,
+    ) -> int:
+        """Write the buffer as JSON Lines; returns the event count.
+
+        ``kinds`` restricts the export to a subset of event kinds (the
+        ``--obs-spans`` flag exports only ``span`` events this way).  With
+        ``meta`` (the default) one ``trace_meta`` trailer line records the
+        drop count and capacity, so downstream readers can tell a complete
+        trace from one truncated by the ring bound."""
+        wanted = frozenset(kinds) if kinds is not None else None
         n = 0
         with open(path, "w", encoding="utf-8") as fh:
             for event in self._events:
+                if wanted is not None and event.kind not in wanted:
+                    continue
                 fh.write(event.to_json())
                 fh.write("\n")
                 n += 1
+            if meta:
+                trailer = {
+                    "seq": self._seq,
+                    "kind": "trace_meta",
+                    "dropped": self.dropped,
+                    "capacity": self.capacity,
+                    "events": n,
+                }
+                fh.write(json.dumps(trailer, sort_keys=True))
+                fh.write("\n")
         return n
 
 

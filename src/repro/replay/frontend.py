@@ -115,6 +115,10 @@ def replay_trace(
         last_arrival = arrivals[-1]
 
         def snapshot(ts: float) -> None:
+            # push the SLO watermark so a client that went quiet still
+            # closes its trailing windows mid-run (this is what makes
+            # `repro stats --follow` show windows advancing live)
+            service.slo.advance_watermark(ts)
             acct = service.slo.clients.get(client)
             completed = acct.completed if acct else 0
             shed = acct.shed if acct else 0

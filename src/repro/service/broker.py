@@ -121,13 +121,14 @@ class ServiceConfig:
 class _InFlight:
     """One admitted request: issue time + unfinished chain count."""
 
-    __slots__ = ("request", "issue_us", "remaining", "degraded")
+    __slots__ = ("request", "issue_us", "remaining", "degraded", "span_seq")
 
     def __init__(self, request: ServiceRequest, issue_us: float, chains: int):
         self.request = request
         self.issue_us = issue_us
         self.remaining = chains
         self.degraded = False  # any read of the request went degraded
+        self.span_seq = 1  # next span id (0 is the root "request" span)
 
 
 class _DieLane:
@@ -196,6 +197,10 @@ class FlashReadService:
         self._remaining = 0
         self._closed_pending: Dict[str, Deque[ServiceRequest]] = {}
         self._client_mode: Dict[str, str] = {}
+        #: while a die slot is being priced with span tracing on, the read
+        #: paths append one ``(name, duration, phases, attrs)`` entry per
+        #: op here; ``None`` otherwise (the zero-cost default)
+        self._op_phase_log: Optional[List[tuple]] = None
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -213,6 +218,99 @@ class FlashReadService:
 
     def _pe_of(self, key: CacheKey) -> int:
         return self._erases.get((key[0], key[1]), 0)
+
+    # ------------------------------------------------------------------
+    # span tracing (repro.obs.spans)
+    # ------------------------------------------------------------------
+    def _spans_on(self) -> bool:
+        return OBS.enabled and OBS.tracer.enabled and OBS.spans_enabled
+
+    @staticmethod
+    def _trace_id(req: ServiceRequest) -> str:
+        return f"{req.client}/{req.index}"
+
+    @staticmethod
+    def _next_span(inflight: _InFlight) -> int:
+        sid = inflight.span_seq
+        inflight.span_seq += 1
+        return sid
+
+    def _emit_span(
+        self,
+        trace: str,
+        span_id: int,
+        parent: Optional[int],
+        name: str,
+        t0: float,
+        t1: float,
+        **attrs,
+    ) -> None:
+        OBS.tracer.emit(
+            "span", trace=trace, span=span_id, parent=parent, name=name,
+            t0=t0, t1=t1, **attrs,
+        )
+
+    def _emit_chain_spans(
+        self,
+        inflight: _InFlight,
+        op_log: List[tuple],
+        followers: List[Tuple[_InFlight, List[PhysicalOp]]],
+        start: float,
+        leader_end: float,
+        end: float,
+        die: int,
+    ) -> None:
+        """Emit the span tree of one die service slot.
+
+        Tiling invariant (what makes phase sums reconcile with end-to-end
+        latencies): every parent's children partition its interval, with
+        the last child clamped to the parent's end so float noise in the
+        duration sums cannot open a gap.  The leader's chain runs
+        ``queue_wait`` then each op (each op its phases); follower chains
+        run ``queue_wait`` then ``batch_ride`` over the whole slot."""
+        trace = self._trace_id(inflight.request)
+        chain_id = self._next_span(inflight)
+        self._emit_span(
+            trace, chain_id, 0, "chain", inflight.issue_us, end,
+            die=die, ops=len(op_log),
+        )
+        qw = self._next_span(inflight)
+        self._emit_span(trace, qw, chain_id, "queue_wait",
+                        inflight.issue_us, start)
+        t = start
+        ops_end = leader_end if followers else end
+        for i, (name, duration, phases, attrs) in enumerate(op_log):
+            op_t1 = ops_end if i == len(op_log) - 1 else t + duration
+            op_id = self._next_span(inflight)
+            self._emit_span(trace, op_id, chain_id, name, t, op_t1, **attrs)
+            pt = t
+            for j, (pname, pdur, pattrs) in enumerate(phases):
+                p_t1 = op_t1 if j == len(phases) - 1 else pt + pdur
+                pid = self._next_span(inflight)
+                self._emit_span(trace, pid, op_id, pname, pt, p_t1, **pattrs)
+                pt = p_t1
+            t = op_t1
+        if followers:
+            bid = self._next_span(inflight)
+            self._emit_span(
+                trace, bid, chain_id, "batch_followers", leader_end, end,
+                followers=len(followers),
+            )
+            for f_inflight, _ in followers:
+                f_trace = self._trace_id(f_inflight.request)
+                f_chain = self._next_span(f_inflight)
+                self._emit_span(
+                    f_trace, f_chain, 0, "chain",
+                    f_inflight.issue_us, end, die=die, ops=1, batched=True,
+                )
+                f_qw = self._next_span(f_inflight)
+                self._emit_span(f_trace, f_qw, f_chain, "queue_wait",
+                                f_inflight.issue_us, start)
+                f_ride = self._next_span(f_inflight)
+                self._emit_span(
+                    f_trace, f_ride, f_chain, "batch_ride", start, end,
+                    leader=trace,
+                )
 
     # ------------------------------------------------------------------
     # scenario entry point
@@ -344,6 +442,13 @@ class FlashReadService:
 
     def _shed(self, req: ServiceRequest) -> None:
         self.slo.record_shed(req.client, self.queue.now, req.is_read)
+        if self._spans_on():
+            self._emit_span(
+                self._trace_id(req), 0, None, "request",
+                self.queue.now, self.queue.now,
+                client=req.client, index=req.index, read=req.is_read,
+                outcome="shed",
+            )
         self._request_done(req)
 
     def _request_done(self, req: ServiceRequest) -> None:
@@ -378,11 +483,23 @@ class FlashReadService:
         followers = (
             self._coalesce(lane, ops) if self.config.batch_enabled else []
         )
+        spans_on = self._spans_on()
+        if spans_on:
+            self._op_phase_log = []
         duration = sum(self._op_duration_us(op, inflight) for op in ops)
+        leader_duration = duration
         for _, f_ops in followers:
             duration += self._follower_read_us(f_ops[0], ops[0])
         members = [inflight] + [f_inflight for f_inflight, _ in followers]
         lane.busy_us += duration
+        if spans_on:
+            op_log, self._op_phase_log = self._op_phase_log, None
+            start = self.queue.now
+            self._emit_chain_spans(
+                inflight, op_log, followers,
+                start, start + leader_duration, start + duration,
+                lane.index,
+            )
         self.queue.schedule_after(
             duration, lambda: self._chains_done(lane, members)
         )
@@ -462,11 +579,22 @@ class FlashReadService:
         if op.kind == "read":
             return self._read_duration_us(op, inflight)
         if op.kind == "program":
-            return t.t_transfer_us + t.t_program_us
+            duration = t.t_transfer_us + t.t_program_us
+            if self._op_phase_log is not None:
+                self._op_phase_log.append((
+                    "program", duration, [],
+                    {"die": op.die, "block": op.block, "gc": op.gc},
+                ))
+            return duration
         if op.kind == "erase":
             self._erases[(op.die, op.block)] = (
                 self._erases.get((op.die, op.block), 0) + 1
             )
+            if self._op_phase_log is not None:
+                self._op_phase_log.append((
+                    "erase", t.t_erase_us, [],
+                    {"die": op.die, "block": op.block, "gc": op.gc},
+                ))
             return t.t_erase_us
         raise ValueError(f"unknown op kind {op.kind!r}")
 
@@ -506,7 +634,61 @@ class FlashReadService:
             # the cold read's sentinel flow inferred the offset; remember it
             self.cache.put(key, 0.0, self.queue.now, self._pe_of(key))
         n_voltages = profile.page_voltages[ptype]
-        return self.timing.read_us(n_voltages, retries, extra)
+        duration = self.timing.read_us(n_voltages, retries, extra)
+        if self._op_phase_log is not None:
+            self._log_read_phases(op, ptype, n_voltages, retries, extra,
+                                  hit, duration)
+        return duration
+
+    def _log_read_phases(
+        self,
+        op: PhysicalOp,
+        ptype: int,
+        n_voltages: int,
+        retries: int,
+        extra: int,
+        hit: bool,
+        duration: float,
+    ) -> None:
+        """Decompose one fast-path read into its span phases.
+
+        Mirrors :meth:`NandTiming.read_us`: the initial full read is the
+        sense (where the sentinel inference happens) plus transfer + host
+        ECC decode; the sentinel machinery's auxiliary single-voltage
+        reads follow, then each retry round re-senses and re-transfers.
+        ``saved_us`` is the fallback-table estimate (``degraded_retries``
+        full-read rounds, the vendor-walk baseline) minus the actual
+        duration — the per-read form of the paper's headline saving."""
+        t = self.timing
+        phases: List[tuple] = [
+            ("sense", t.sense_us(n_voltages), {}),
+            ("xfer_ecc", t.t_transfer_us, {}),
+        ]
+        if extra:
+            phases.append((
+                "aux_reads",
+                extra * (t.sense_us(1) + t.t_transfer_us),
+                {"count": extra},
+            ))
+        for r in range(1, retries + 1):
+            phases.append((
+                "retry_round",
+                t.sense_us(n_voltages) + t.t_transfer_us,
+                {"round": r},
+            ))
+        fallback = t.read_us(n_voltages, self.config.degraded_retries, 0)
+        self._op_phase_log.append((
+            "read", duration, phases,
+            {
+                "die": op.die, "block": op.block, "page_type": ptype,
+                "retries": retries, "extra": extra,
+                "cache": (
+                    "hit" if hit
+                    else ("miss" if self.config.cache_enabled else "off")
+                ),
+                "saved_us": fallback - duration,
+            },
+        ))
 
     # ------------------------------------------------------------------
     # resilient read path (active fault campaigns only)
@@ -527,9 +709,32 @@ class FlashReadService:
         breaker = self._breakers[op.die]
         key = self._cache_key(op)
         ptype = self._page_type(op)
+        phases: Optional[List[tuple]] = (
+            [] if self._op_phase_log is not None else None
+        )
+
+        def log_entry(total_us: float, degraded: bool) -> None:
+            if phases is None:
+                return
+            self._op_phase_log.append((
+                "read", total_us, phases,
+                {
+                    "die": op.die, "block": op.block, "page_type": ptype,
+                    "resilient": True, "degraded": degraded,
+                },
+            ))
 
         if not breaker.allow(now):
-            return self._degraded_read_us(op, inflight, now, "breaker_open")
+            duration = self._degraded_read_us(
+                op, inflight, now, "breaker_open"
+            )
+            if phases is not None:
+                phases.append((
+                    "degraded_fallback", duration,
+                    {"reason": "breaker_open"},
+                ))
+                log_entry(duration, True)
+            return duration
 
         budget_us = cfg.request_timeout_us - (now - inflight.issue_us)
         total = 0.0
@@ -561,8 +766,18 @@ class FlashReadService:
             elif event == "stale":
                 failure = "stale"
             total += duration
+            if phases is not None:
+                phases.append((
+                    "read_attempt", duration,
+                    {
+                        "attempt": attempt, "retries": retries,
+                        "extra": extra,
+                        "outcome": failure if failure else "ok",
+                    },
+                ))
             if failure is None:
                 breaker.record_success()
+                log_entry(total, False)
                 return total
             if failure == "timeout":
                 self._resil("op_timeouts")
@@ -588,7 +803,14 @@ class FlashReadService:
                 total += backoff
                 self._resil("backoffs")
                 self._resil("backoff_us", backoff)
-        return total + self._degraded_read_us(op, inflight, now, reason)
+                if phases is not None:
+                    phases.append(("backoff", backoff, {"attempt": attempt}))
+        degraded_us = self._degraded_read_us(op, inflight, now, reason)
+        if phases is not None:
+            phases.append(("degraded_fallback", degraded_us,
+                           {"reason": reason}))
+            log_entry(total + degraded_us, True)
+        return total + degraded_us
 
     def _degraded_read_us(
         self, op: PhysicalOp, inflight: _InFlight, now: float, reason: str
@@ -660,6 +882,14 @@ class FlashReadService:
                     req.client, self.queue.now, latency, req.is_read,
                     degraded=inflight.degraded,
                 )
+                if self._spans_on():
+                    self._emit_span(
+                        self._trace_id(req), 0, None, "request",
+                        inflight.issue_us, self.queue.now,
+                        client=req.client, index=req.index,
+                        read=req.is_read,
+                        outcome="degraded" if inflight.degraded else "ok",
+                    )
                 self._request_done(req)
         self._start_next(lane)
 
@@ -701,6 +931,9 @@ class FlashReadService:
     # ------------------------------------------------------------------
     def _report(self, scenario: str) -> ServiceReport:
         horizon = self.queue.now
+        # end of run: the watermark catches up to the horizon so every
+        # fully elapsed window closes (and emits its slo_window event)
+        self.slo.advance_watermark(horizon)
         utilization = (
             sum(lane.busy_us for lane in self._lanes)
             / (horizon * len(self._lanes))

@@ -1,18 +1,29 @@
-"""Per-client SLO monitoring: latency percentiles and windowed throughput.
+"""Per-client SLO monitoring: streaming event-time windows + percentiles.
 
 The monitor is the accounting half of the serving layer: every admission,
 shed, and completion lands here, keyed by client.  It produces
 
 * per-client **p50/p99/p999 read latency** (via
   :class:`repro.ssd.metrics.LatencyStats`, which already rejects NaN/inf);
-* a **sliding-window time series** — completions bucketed into fixed
-  virtual-time windows, each reporting IOPS and the window's p99 read
-  latency — the view that shows scrubber/GC interference over time;
+* a **streaming window series** — completions aggregated into fixed
+  event-time windows *as they arrive* (:class:`StreamingWindows`), with a
+  **watermark** that closes windows as event time advances.  A closed
+  window emits one ``slo_window`` trace event (when tracing is on), which
+  is what ``repro stats --follow`` renders live.  **Late arrivals** — an
+  event timestamped inside an already-closed window — are *counted* (a
+  ``late_arrivals`` counter plus the ``repro_slo_late_arrivals_total``
+  metric) but never dropped: the data still merges into its window, so
+  the final series is exact regardless of arrival order;
 * ``repro.obs`` metrics (counters per client/op, a latency histogram) and
   the ``shed`` event kind when admission drops a request.
 
 Everything is deterministic: windows are aligned to virtual time zero and
-all aggregation is order-stable.
+aggregation is order-stable, so for an in-order run the series is
+byte-identical to the old post-hoc bucketing (the goldens pin this).
+The broker's virtual clock never goes backwards, which is why in-simulation
+runs report zero late arrivals — the machinery exists for event streams
+that cross a merge boundary (sharded traces, external feeds; unit tests
+exercise it directly).
 """
 
 from __future__ import annotations
@@ -23,6 +34,132 @@ from typing import Dict, List, Optional
 
 from repro.obs import OBS
 from repro.ssd.metrics import LatencyStats
+
+
+class StreamingWindows:
+    """Incremental fixed-window event-time aggregation with a watermark.
+
+    One instance per client.  ``observe(ts)`` buckets the event
+    immediately; the watermark is ``max(event time) - allowed_lateness_us``
+    and every window whose end the watermark has passed is *closed* in
+    index order (emitting one ``slo_window`` event each when tracing).
+    Closed windows keep their data — a late arrival increments
+    ``late_arrivals`` and still lands in its window, so ``series()`` is
+    exact for any arrival order.
+    """
+
+    __slots__ = (
+        "window_us", "client", "allowed_lateness_us",
+        "_counts", "_read_lats", "watermark_us", "closed_windows",
+        "late_arrivals", "max_event_us",
+    )
+
+    def __init__(
+        self,
+        window_us: float,
+        client: str = "",
+        allowed_lateness_us: float = 0.0,
+    ) -> None:
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        if allowed_lateness_us < 0:
+            raise ValueError("allowed_lateness_us must be non-negative")
+        self.window_us = window_us
+        self.client = client
+        self.allowed_lateness_us = allowed_lateness_us
+        self._counts: Dict[int, int] = {}
+        self._read_lats: Dict[int, List[float]] = {}
+        self.watermark_us = -math.inf
+        #: windows 0..closed_windows-1 are closed (end <= watermark)
+        self.closed_windows = 0
+        self.late_arrivals = 0
+        self.max_event_us: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, ts_us: float, read_latency_us: Optional[float] = None
+    ) -> None:
+        """Bucket one completion; advance the watermark to its event time."""
+        idx = int(ts_us // self.window_us)
+        if idx < self.closed_windows:
+            self.late_arrivals += 1
+            if OBS.enabled and OBS.metrics.enabled:
+                OBS.metrics.counter(
+                    "repro_slo_late_arrivals_total",
+                    help="completions that arrived after their window "
+                         "closed (counted, still merged)",
+                    client=self.client,
+                ).inc()
+        self._counts[idx] = self._counts.get(idx, 0) + 1
+        if read_latency_us is not None:
+            self._read_lats.setdefault(idx, []).append(read_latency_us)
+        if self.max_event_us is None or ts_us > self.max_event_us:
+            self.max_event_us = ts_us
+            self._advance(ts_us - self.allowed_lateness_us)
+
+    def advance_to(self, ts_us: float) -> None:
+        """Push the watermark from a time signal with no completion (the
+        replay's progress tick, the broker's end-of-run horizon) so idle
+        clients still close their trailing windows."""
+        self._advance(ts_us - self.allowed_lateness_us)
+
+    def _advance(self, watermark_us: float) -> None:
+        if watermark_us <= self.watermark_us:
+            return
+        self.watermark_us = watermark_us
+        target = int(watermark_us // self.window_us)
+        while self.closed_windows < target:
+            self._close(self.closed_windows)
+            self.closed_windows += 1
+
+    def _close(self, idx: int) -> None:
+        if OBS.enabled and OBS.tracer.enabled:
+            w = self.window_us
+            lats = self._read_lats.get(idx, [])
+            stats = LatencyStats.from_samples(lats)
+            OBS.tracer.emit(
+                "slo_window",
+                client=self.client,
+                window_start_us=idx * w,
+                window_end_us=(idx + 1) * w,
+                completed=self._counts.get(idx, 0),
+                iops=self._counts.get(idx, 0) / (w / 1e6),
+                read_p99_us=stats.p99_us,
+                late=self.late_arrivals,
+            )
+        if OBS.enabled and OBS.metrics.enabled:
+            OBS.metrics.gauge(
+                "repro_slo_watermark_us",
+                help="event-time watermark of the streaming SLO windows",
+                client=self.client,
+            ).set(self.watermark_us)
+
+    # ------------------------------------------------------------------
+    def series(
+        self, horizon_us: Optional[float] = None
+    ) -> List[Dict[str, float]]:
+        """The full window series (closed and still-open windows alike).
+
+        Byte-identical to the historical post-hoc bucketing: windows align
+        to virtual time zero, empty windows are kept (zeroed), and with
+        ``horizon_us`` the zeroed tail extends to ``ceil(horizon / w)``
+        windows (a horizon ending exactly on a boundary opens no window).
+        """
+        if self.max_event_us is None:
+            return []
+        w = self.window_us
+        n_windows = int(self.max_event_us // w) + 1
+        if horizon_us is not None and horizon_us > 0:
+            n_windows = max(n_windows, int(math.ceil(horizon_us / w)))
+        series = []
+        for i in range(n_windows):
+            stats = LatencyStats.from_samples(self._read_lats.get(i, []))
+            series.append({
+                "window_start_us": i * w,
+                "iops": self._counts.get(i, 0) / (w / 1e6),
+                "read_p99_us": stats.p99_us,
+            })
+        return series
 
 
 @dataclass
@@ -37,10 +174,9 @@ class ClientAccount:
     degraded: int = 0
     read_latencies_us: List[float] = field(default_factory=list)
     write_latencies_us: List[float] = field(default_factory=list)
-    #: completion timestamps, parallel to reads+writes interleaved
-    completion_times_us: List[float] = field(default_factory=list)
-    #: (time, latency) of read completions, for windowed p99
-    read_completions: List[tuple] = field(default_factory=list)
+    #: streaming event-time window aggregation (set by the monitor, which
+    #: knows the window width and client name)
+    windows: Optional[StreamingWindows] = None
 
     @property
     def read_stats(self) -> LatencyStats:
@@ -54,16 +190,28 @@ class ClientAccount:
 class SloMonitor:
     """Folds the broker's lifecycle callbacks into per-client SLO views."""
 
-    def __init__(self, window_us: float = 250_000.0) -> None:
+    def __init__(
+        self,
+        window_us: float = 250_000.0,
+        allowed_lateness_us: float = 0.0,
+    ) -> None:
         if window_us <= 0:
             raise ValueError("window_us must be positive")
         self.window_us = window_us
+        self.allowed_lateness_us = allowed_lateness_us
         self.clients: Dict[str, ClientAccount] = {}
 
     def _account(self, client: str) -> ClientAccount:
-        if client not in self.clients:
-            self.clients[client] = ClientAccount()
-        return self.clients[client]
+        acct = self.clients.get(client)
+        if acct is None:
+            acct = ClientAccount()
+            acct.windows = StreamingWindows(
+                self.window_us,
+                client=client,
+                allowed_lateness_us=self.allowed_lateness_us,
+            )
+            self.clients[client] = acct
+        return acct
 
     # ------------------------------------------------------------------
     # lifecycle callbacks (broker-driven)
@@ -103,10 +251,11 @@ class SloMonitor:
                     help="requests completed via the degraded read path",
                     client=client,
                 ).inc()
-        acct.completion_times_us.append(now_us)
+        acct.windows.observe(
+            now_us, read_latency_us=latency_us if is_read else None
+        )
         if is_read:
             acct.read_latencies_us.append(latency_us)
-            acct.read_completions.append((now_us, latency_us))
         else:
             acct.write_latencies_us.append(latency_us)
         if OBS.enabled and OBS.metrics.enabled:
@@ -124,6 +273,26 @@ class SloMonitor:
                 ).observe(latency_us)
 
     # ------------------------------------------------------------------
+    # watermark control
+    # ------------------------------------------------------------------
+    def advance_watermark(self, ts_us: float) -> None:
+        """Advance every client's watermark to ``ts_us`` (a pure
+        time-passing signal: replay ticks, end-of-run finalization).
+        Clients are visited in sorted order so the emitted ``slo_window``
+        stream is deterministic."""
+        for name in sorted(self.clients):
+            windows = self.clients[name].windows
+            if windows is not None:
+                windows.advance_to(ts_us)
+
+    @property
+    def late_arrivals(self) -> int:
+        return sum(
+            acct.windows.late_arrivals
+            for acct in self.clients.values() if acct.windows is not None
+        )
+
+    # ------------------------------------------------------------------
     # views
     # ------------------------------------------------------------------
     def window_series(
@@ -138,29 +307,9 @@ class SloMonitor:
         run's horizon (the broker's report does) must pass it so a client
         that went quiet still shows the zeroed tail."""
         acct = self.clients.get(client)
-        if acct is None or not acct.completion_times_us:
+        if acct is None or acct.windows is None:
             return []
-        w = self.window_us
-        last = max(acct.completion_times_us)
-        n_windows = int(last // w) + 1
-        if horizon_us is not None and horizon_us > 0:
-            # ceil: a horizon ending exactly on a boundary opens no window
-            n_windows = max(n_windows, int(math.ceil(horizon_us / w)))
-        counts = [0] * n_windows
-        read_lats: List[List[float]] = [[] for _ in range(n_windows)]
-        for t in acct.completion_times_us:
-            counts[int(t // w)] += 1
-        for t, lat in acct.read_completions:
-            read_lats[int(t // w)].append(lat)
-        series = []
-        for i in range(n_windows):
-            stats = LatencyStats.from_samples(read_lats[i])
-            series.append({
-                "window_start_us": i * w,
-                "iops": counts[i] / (w / 1e6),
-                "read_p99_us": stats.p99_us,
-            })
-        return series
+        return acct.windows.series(horizon_us)
 
     def summary(self, horizon_us: float) -> Dict[str, Dict[str, float]]:
         """JSON-ready per-client summary for the service report."""

@@ -80,6 +80,56 @@ def _emit_read_complete(policy_name: str, row: tuple) -> None:
     )
 
 
+#: measure() invocations that emitted span trees, for unique trace ids —
+#: advanced identically by serial and sharded runs of the same process
+_MEASURE_SPAN_RUNS = 0
+
+
+def _emit_read_spans(
+    trace: str, row: tuple, n_voltages: int, timing: NandTiming, t0: float
+) -> float:
+    """Emit one chip-level read's span tree in deterministic virtual time.
+
+    Same phase decomposition as the serving layer (sense with the
+    sentinel inference, transfer + host ECC, auxiliary single-voltage
+    reads, retry rounds); the last child is clamped to the root's end so
+    the phases tile it exactly.  Returns the read's duration so the
+    caller can advance its cumulative clock."""
+    page, retries, extra, calibration_steps, success = row
+    duration = timing.read_us(n_voltages, retries, extra)
+    t1 = t0 + duration
+    OBS.tracer.emit(
+        "span", trace=trace, span=0, parent=None, name="chip_read",
+        t0=t0, t1=t1, page=page, retries=retries, extra=extra,
+        calibration_steps=calibration_steps, success=success,
+    )
+    phases: List[tuple] = [
+        ("sense", timing.sense_us(n_voltages), {}),
+        ("xfer_ecc", timing.t_transfer_us, {}),
+    ]
+    if extra:
+        phases.append((
+            "aux_reads",
+            extra * (timing.sense_us(1) + timing.t_transfer_us),
+            {"count": extra},
+        ))
+    for r in range(1, retries + 1):
+        phases.append((
+            "retry_round",
+            timing.sense_us(n_voltages) + timing.t_transfer_us,
+            {"round": r},
+        ))
+    t = t0
+    for j, (pname, pdur, pattrs) in enumerate(phases):
+        p_t1 = t1 if j == len(phases) - 1 else t + pdur
+        OBS.tracer.emit(
+            "span", trace=trace, span=j + 1, parent=0, name=pname,
+            t0=t, t1=p_t1, **pattrs,
+        )
+        t = p_t1
+    return duration
+
+
 @dataclass
 class RetryProfile:
     """Per-page-type empirical (retries, extra single reads) samples."""
@@ -145,12 +195,33 @@ class RetryProfile:
         per_shard = engine.run(
             partial(_measure_shard, task), shards, label="profile-measure"
         )
+        # span trees always emit here, post-merge, in canonical sweep
+        # order — serial and sharded runs produce an identical stream
+        spans_on = (
+            OBS.enabled and OBS.tracer.enabled and OBS.spans_enabled
+        )
+        if spans_on:
+            global _MEASURE_SPAN_RUNS
+            _MEASURE_SPAN_RUNS += 1
+            span_label = name or policy.name
+            span_timing = NandTiming()
+            span_clock = 0.0
+            span_index = 0
         for rows in per_shard:
             for row in rows:
                 p, retries, extra = row[0], row[1], row[2]
                 collected[p].append((retries, extra))
                 if not inline and OBS.enabled and OBS.tracer.enabled:
                     _emit_read_complete(policy.name, row)
+                if spans_on:
+                    trace = (
+                        f"measure/{span_label}/"
+                        f"{_MEASURE_SPAN_RUNS}/{span_index}"
+                    )
+                    span_clock += _emit_read_spans(
+                        trace, row, voltages[p], span_timing, span_clock
+                    )
+                    span_index += 1
         return cls(
             policy_name=name or policy.name,
             page_voltages=voltages,

@@ -56,3 +56,41 @@ class TestDensityPlot:
 
     def test_empty(self):
         assert density_plot([], []) == ""
+
+
+class TestBarChart:
+    def test_renders_bars_and_values(self):
+        from repro.analysis.ascii_plot import bar_chart
+
+        text = bar_chart(["a", "bb"], [1.0, 4.0], width=8, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[2].count("#") == 8  # peak fills the width
+        assert "1" in lines[1] and "4" in lines[2]
+
+    def test_empty_input_prints_no_samples_row(self):
+        from repro.analysis.ascii_plot import bar_chart
+
+        assert bar_chart([], []) == "(no samples)"
+        assert bar_chart([], [], title="retries") == "retries\n(no samples)"
+
+    def test_all_zero_values_render_without_division_error(self):
+        from repro.analysis.ascii_plot import bar_chart
+
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert text.count("#") == 0
+
+    def test_non_finite_value_keeps_its_row(self):
+        from repro.analysis.ascii_plot import bar_chart
+
+        text = bar_chart(["a", "b"], [float("nan"), 2.0], width=4)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "nan" in lines[0] and lines[0].count("#") == 0
+        assert lines[1].count("#") == 4
+
+    def test_mismatch_rejected(self):
+        from repro.analysis.ascii_plot import bar_chart
+
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])

@@ -365,3 +365,84 @@ class TestChaosCommand:
                          "--json", str(out)]) == 0
             outs.append(out.read_text())
         assert outs[0] == outs[1]
+
+
+class TestSpansCommand:
+    def test_replay_spans_export_and_check(self, tmp_path, capsys):
+        from repro import obs
+
+        spans = tmp_path / "spans.jsonl"
+        try:
+            code = main([
+                "replay", "--synthetic", "hm_0", "--smoke",
+                "--obs-spans", str(spans),
+            ])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert code == 0
+        assert main(["spans", str(spans), "--check", "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path phase breakdown" in out
+        assert "spans check: ok" in out
+
+    def test_spans_export_byte_identical_across_workers(self, tmp_path):
+        from repro import obs
+
+        outs = []
+        for workers, name in ((1, "a.jsonl"), (2, "b.jsonl")):
+            spans = tmp_path / name
+            try:
+                assert main([
+                    "replay", "--synthetic", "hm_0", "--smoke",
+                    "--workers", str(workers), "--obs-spans", str(spans),
+                ]) == 0
+            finally:
+                obs.disable()
+                obs.reset()
+            outs.append(spans.read_text())
+        assert outs[0] == outs[1]
+
+    def test_check_fails_on_spanless_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["spans", str(path), "--check"]) == 1
+        assert "no span trees" in capsys.readouterr().err
+
+    def test_missing_trace_fails_cleanly(self, capsys):
+        assert main(["spans", "/nonexistent/spans.jsonl"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trees_json_export(self, tmp_path, capsys):
+        from repro import obs
+
+        spans = tmp_path / "spans.jsonl"
+        trees = tmp_path / "trees.jsonl"
+        try:
+            assert main([
+                "serve", "--smoke", "--requests", "60",
+                "--obs-spans", str(spans),
+            ]) == 0
+        finally:
+            obs.disable()
+            obs.reset()
+        assert main(["spans", str(spans), "--json", str(trees),
+                     "--top", "0"]) == 0
+        lines = [ln for ln in trees.read_text().splitlines() if ln]
+        assert lines
+        for line in lines:
+            json.loads(line)
+
+
+class TestStatsFollow:
+    def test_follow_bounded_updates(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(
+            '{"seq": 0, "kind": "cache_hit", "die": 0, "block": 1, '
+            '"layer": 2, "ts": 5.0, "gc": false}\n'
+        )
+        assert main(["stats", str(trace), "--follow",
+                     "--interval", "0.01", "--updates", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "following" in out
+        assert "cache_hit" in out

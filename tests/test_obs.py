@@ -162,7 +162,13 @@ class TestTracer:
         path = tmp_path / "trace.jsonl"
         assert tr.export_jsonl(str(path)) == 3
         back = load_jsonl(str(path))
-        assert [e.kind for e in back] == [e.kind for e in tr.events()]
+        # the export appends one trace_meta trailer after the events
+        assert [e.kind for e in back] == (
+            [e.kind for e in tr.events()] + ["trace_meta"]
+        )
+        meta = back.pop()
+        assert meta.fields["events"] == 3
+        assert meta.fields["dropped"] == 0
         assert [e.seq for e in back] == [0, 1, 2]
         assert back[0].fields["rber"] == pytest.approx(1.5e-3)
         assert back[0].fields["decoded"] is True
@@ -274,7 +280,8 @@ class TestStats:
         obs.disable()
 
         stats = aggregate(load_jsonl(str(path)))
-        assert stats.n_events == len(load_jsonl(str(path)))
+        # the trace_meta trailer is bookkeeping, not a counted event
+        assert stats.n_events == len(load_jsonl(str(path))) - 1
         assert stats.reads > 0
         assert stats.retry_histogram
         assert stats.mean_retries >= 0
@@ -391,3 +398,148 @@ class TestFaultStats:
         assert not unregistered, (
             f"emit() kinds missing from EVENT_KINDS: {sorted(unregistered)}"
         )
+
+
+# ---------------------------------------------------------------------------
+# ring-buffer drop accounting + export trailer
+# ---------------------------------------------------------------------------
+class TestDropAccounting:
+    def test_drop_counter_metric_tracks_ring_evictions(self):
+        obs.enable(capacity=5)
+        for i in range(12):
+            OBS.emit("gc_migrate", die=0, block=i, migrated=1)
+        assert OBS.tracer.dropped == 7
+        counter = OBS.metrics.counter(
+            "repro_obs_trace_dropped_total",
+            help="events evicted from the trace ring buffer",
+        )
+        assert counter.value == 7
+
+    def test_trace_meta_trailer_reports_drops(self, tmp_path):
+        obs.enable(capacity=3)
+        for i in range(5):
+            OBS.emit("gc_migrate", die=0, block=i, migrated=1)
+        path = tmp_path / "t.jsonl"
+        OBS.tracer.export_jsonl(str(path))
+        meta = load_jsonl(str(path))[-1]
+        assert meta.kind == "trace_meta"
+        assert meta.fields["dropped"] == 2
+        assert meta.fields["capacity"] == 3
+        assert meta.fields["events"] == 3
+
+    def test_stats_render_warns_on_truncated_trace(self, tmp_path):
+        from repro.obs.stats import stats_from_jsonl
+        from repro.obs.stats import render as render_stats
+
+        obs.enable(capacity=3)
+        for i in range(5):
+            OBS.emit("gc_migrate", die=0, block=i, migrated=1)
+        path = tmp_path / "t.jsonl"
+        OBS.tracer.export_jsonl(str(path))
+        stats = stats_from_jsonl(str(path))
+        assert stats.trace_dropped == 2
+        assert "WARNING" in render_stats(stats)
+
+    def test_export_kind_filter(self, tmp_path):
+        tr = EventTracer(enabled=True)
+        tr.emit("gc_migrate", die=0, block=1, migrated=1)
+        tr.emit("span", trace="c/0", span=0, parent=None, name="request",
+                t0=0.0, t1=1.0)
+        tr.emit("die_busy", resource="die0:r", start=0.0, end=1.0)
+        path = tmp_path / "spans.jsonl"
+        assert tr.export_jsonl(str(path), kinds=("span",)) == 1
+        kinds = [e.kind for e in load_jsonl(str(path))]
+        assert kinds == ["span", "trace_meta"]
+
+
+# ---------------------------------------------------------------------------
+# streaming a trace to disk + following it
+# ---------------------------------------------------------------------------
+class TestStreaming:
+    def test_stream_to_appends_live(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        tr = EventTracer(enabled=True)
+        tr.stream_to(str(path))
+        tr.emit("gc_migrate", die=0, block=1, migrated=1)
+        tr.emit("gc_migrate", die=0, block=2, migrated=1)
+        # flushed per event: readable before close
+        assert len(load_jsonl(str(path))) == 2
+        tr.close_stream()
+        tr.emit("gc_migrate", die=0, block=3, migrated=1)
+        assert len(load_jsonl(str(path))) == 2  # stream closed, file fixed
+
+    def test_follow_stats_renders_live_summary(self, tmp_path, capsys):
+        from repro.obs.stats import follow_stats
+
+        path = tmp_path / "live.jsonl"
+        tr = EventTracer(enabled=True)
+        tr.stream_to(str(path))
+        tr.emit("cache_hit", die=0, block=1, layer=2, ts=5.0, gc=False)
+        tr.close_stream()
+        assert follow_stats(str(path), interval_s=0.01, max_updates=2) == 0
+        out = capsys.readouterr().out
+        assert "following" in out
+        assert "cache_hit" in out
+
+    def test_follow_stats_waits_for_missing_file(self, tmp_path, capsys):
+        from repro.obs.stats import follow_stats
+
+        path = tmp_path / "never.jsonl"
+        assert follow_stats(str(path), interval_s=0.01, max_updates=2) == 0
+        assert "0 events" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition: escaping + the live endpoint
+# ---------------------------------------------------------------------------
+class TestExposition:
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("weird_total", help='has "quotes" and \\slashes\\',
+                    path='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert '# HELP weird_total has "quotes" and \\\\slashes\\\\' in text
+
+    def test_histogram_exposition_is_prometheus_compliant(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("lat_us", help="x", edges=[1.0, 10.0])
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert '# TYPE lat_us histogram' in text
+        assert 'lat_us_bucket{le="1"} 1' in text
+        assert 'lat_us_bucket{le="10"} 2' in text
+        assert 'lat_us_bucket{le="+Inf"} 3' in text
+        assert "lat_us_count 3" in text
+
+    def test_metrics_server_serves_registry(self):
+        import urllib.request
+
+        from repro.obs.exposition import CONTENT_TYPE, MetricsServer
+
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("up_total", help="x").inc()
+        with MetricsServer(registry=reg, port=0) as server:
+            with urllib.request.urlopen(server.url) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            assert "up_total 1" in body
+            health = server.url.replace("/metrics", "/healthz")
+            with urllib.request.urlopen(health) as resp:
+                assert resp.read() == b"ok\n"
+            missing = server.url.replace("/metrics", "/nope")
+            try:
+                urllib.request.urlopen(missing)
+                assert False, "expected 404"
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+
+    def test_server_stop_is_idempotent(self):
+        from repro.obs.exposition import MetricsServer
+
+        server = MetricsServer(registry=MetricsRegistry(enabled=True))
+        server.start()
+        server.stop()
+        server.stop()

@@ -440,3 +440,100 @@ class TestSentinelHint:
                 cold += policy.read(wl, page).retries
                 warm += policy.read(wl, page, hint=hint).retries
         assert warm < cold
+
+
+# ---------------------------------------------------------------------------
+# streaming event-time windows + watermark
+# ---------------------------------------------------------------------------
+class TestStreamingWindows:
+    def _windows(self, window_us=100.0, lateness=0.0):
+        from repro.service.slo import StreamingWindows
+
+        return StreamingWindows(window_us, client="c",
+                                allowed_lateness_us=lateness)
+
+    def test_watermark_closes_passed_windows(self):
+        w = self._windows()
+        w.observe(50.0)
+        assert w.closed_windows == 0
+        w.observe(250.0)  # watermark 250 -> windows 0 and 1 closed
+        assert w.closed_windows == 2
+        assert w.watermark_us == 250.0
+        assert w.late_arrivals == 0
+
+    def test_late_arrival_counted_but_still_merged(self):
+        w = self._windows()
+        w.observe(250.0, read_latency_us=10.0)
+        w.observe(20.0, read_latency_us=99.0)  # window 0 already closed
+        assert w.late_arrivals == 1
+        series = w.series()
+        assert series[0]["iops"] == pytest.approx(1 / (100.0 / 1e6))
+        assert series[0]["read_p99_us"] == pytest.approx(99.0)
+
+    def test_allowed_lateness_defers_closing(self):
+        w = self._windows(lateness=100.0)
+        w.observe(180.0)
+        assert w.closed_windows == 0  # watermark held back to 80
+        w.observe(50.0)  # window 0 still open: not late
+        assert w.late_arrivals == 0
+        w.observe(250.0)  # watermark 150 -> now window 0 closes
+        assert w.closed_windows == 1
+
+    def test_advance_to_closes_idle_tail(self):
+        w = self._windows()
+        w.observe(50.0)
+        w.advance_to(1000.0)
+        assert w.closed_windows == 10
+        w.advance_to(500.0)  # watermark never regresses
+        assert w.watermark_us == 1000.0
+
+    def test_out_of_order_series_matches_in_order(self):
+        in_order = self._windows()
+        shuffled = self._windows()
+        stamps = [(10.0, 5.0), (120.0, 7.0), (130.0, None), (260.0, 9.0)]
+        for ts, lat in stamps:
+            in_order.observe(ts, read_latency_us=lat)
+        for ts, lat in (stamps[3], stamps[0], stamps[2], stamps[1]):
+            shuffled.observe(ts, read_latency_us=lat)
+        assert shuffled.late_arrivals > 0
+        assert in_order.series() == shuffled.series()
+
+    def test_closed_window_emits_slo_window_event(self):
+        from repro import obs
+        from repro.obs import OBS
+
+        obs.enable(capacity=1000)
+        try:
+            w = self._windows()
+            w.observe(30.0, read_latency_us=42.0)
+            w.observe(150.0)
+            events = [e for e in OBS.tracer.events()
+                      if e.kind == "slo_window"]
+            assert len(events) == 1
+            f = events[0].fields
+            assert f["client"] == "c"
+            assert f["window_start_us"] == 0.0
+            assert f["completed"] == 1
+            assert f["read_p99_us"] == pytest.approx(42.0)
+            assert f["late"] == 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_monitor_advance_watermark_and_late_total(self):
+        mon = SloMonitor(window_us=100.0)
+        mon.record_completion("b", 250.0, 10.0, is_read=True)
+        mon.record_completion("a", 250.0, 10.0, is_read=True)
+        mon.record_completion("a", 10.0, 10.0, is_read=True)  # late
+        assert mon.late_arrivals == 1
+        mon.advance_watermark(1000.0)
+        for acct in mon.clients.values():
+            assert acct.windows.closed_windows == 10
+
+    def test_rejects_bad_parameters(self):
+        from repro.service.slo import StreamingWindows
+
+        with pytest.raises(ValueError):
+            StreamingWindows(0.0)
+        with pytest.raises(ValueError):
+            StreamingWindows(10.0, allowed_lateness_us=-1.0)
