@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke fleet-smoke clean
 
 install:
 	pip install -e .[test]
@@ -51,6 +51,10 @@ obs-smoke:
 		--obs-prom .obs-smoke-metrics.prom
 	$(PYTHON) -m repro stats .obs-smoke-trace.jsonl
 	$(PYTHON) -m repro spans .obs-smoke-spans.jsonl --check --top 1
+
+fleet-smoke:
+	$(PYTHON) -m repro fleet --smoke --seed 1 --workers 2 \
+		--json .fleet-smoke.json
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

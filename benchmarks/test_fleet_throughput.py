@@ -1,0 +1,115 @@
+"""Fleet warm-start throughput: cold cohorts vs cohort-seeded cohorts.
+
+Runs the fleet simulator (``repro.fleet``) at three fleet sizes, twice
+each: once with cohort warm-start off (every device discovers its
+voltage offsets read by read) and once on (cohort seed devices export
+their caches, every later member imports them before serving).  The
+dispatch plan is independent of the warm-start switch, so the *same*
+device indices serve the *same* request streams in both runs — the
+comparison below is over exactly the devices that warm-start in the
+second run, making the paper's Section III-D batch-transfer claim
+directly checkable at fleet scale: warm-started devices retry less and
+their read tail is no worse.  Results land in ``BENCH_fleet.json``.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.fleet import FleetConfig, run_fleet
+
+#: fleet sizes swept: (devices, tenants)
+FLEET_SIZES = {"small": (4, 2), "medium": (8, 4), "large": (16, 8)}
+REQUESTS_PER_TENANT = 150
+OUT_PATH = Path(__file__).parent / "BENCH_fleet.json"
+
+
+def _config(n_devices, n_tenants, warm_start):
+    return FleetConfig(
+        n_devices=n_devices,
+        n_tenants=n_tenants,
+        workers=2,
+        requests_per_tenant=REQUESTS_PER_TENANT,
+        footprint_pages=512,
+        warm_start=warm_start,
+    )
+
+
+def _subset_stats(report, indices):
+    """Load-weighted retries/read + mean per-device p99 over a subset."""
+    devices = [report.devices[i] for i in indices]
+    reads = sum(d["pages_read"] for d in devices)
+    retries = sum(
+        d["mean_retries_per_read"] * d["pages_read"] for d in devices
+    )
+    p99s = [d["read_p99_us"] for d in devices if d["pages_read"]]
+    return {
+        "pages_read": reads,
+        "retries_per_read": retries / reads if reads else 0.0,
+        "mean_device_p99_us": sum(p99s) / len(p99s) if p99s else 0.0,
+    }
+
+
+def run_size(n_devices, n_tenants, seed=7):
+    warm = run_fleet(_config(n_devices, n_tenants, True), seed=seed)
+    cold = run_fleet(_config(n_devices, n_tenants, False), seed=seed)
+    assert warm.balanced and cold.balanced
+    assert warm.dispatch == cold.dispatch  # identical per-device streams
+    warm_idx = [d["index"] for d in warm.devices if d["role"] == "warm"]
+    return {
+        "devices": n_devices,
+        "tenants": n_tenants,
+        "requests": warm.accounting["offered"],
+        "warm_started_devices": len(warm_idx),
+        "entries_imported": warm.warm["entries_imported"],
+        "warm_hits": warm.warm["warm_hits"],
+        "fleet_retries_per_read": {
+            "cold": cold.mean_retries_per_read,
+            "warm": warm.mean_retries_per_read,
+        },
+        # the same devices, cold run vs warm-started run
+        "cohort_members": {
+            "cold": _subset_stats(cold, warm_idx),
+            "warm": _subset_stats(warm, warm_idx),
+        },
+    }
+
+
+def bench():
+    return {
+        label: run_size(n_devices, n_tenants)
+        for label, (n_devices, n_tenants) in FLEET_SIZES.items()
+    }
+
+
+def test_fleet_throughput(benchmark):
+    results = benchmark.pedantic(bench, rounds=1, iterations=1)
+    OUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    rows = []
+    for label, r in results.items():
+        for mode in ("cold", "warm"):
+            sub = r["cohort_members"][mode]
+            rows.append((
+                label,
+                f"{r['devices']}x{r['tenants']}",
+                mode,
+                f"{sub['pages_read']}",
+                f"{sub['retries_per_read']:.3f}",
+                f"{sub['mean_device_p99_us']:.0f}",
+                f"{r['warm_hits']}" if mode == "warm" else "-",
+            ))
+    emit(
+        "Fleet warm-start (same devices, cold run vs cohort-seeded run)",
+        rows,
+        headers=["size", "fleet", "mode", "reads", "retries/read",
+                 "p99 us", "warm hits"],
+    )
+    for label, r in results.items():
+        cold = r["cohort_members"]["cold"]
+        warm = r["cohort_members"]["warm"]
+        # the batch-transfer contract: cohort seeding must cut retries on
+        # the warm-started devices and must not worsen their read tail
+        assert warm["retries_per_read"] < cold["retries_per_read"], label
+        assert warm["mean_device_p99_us"] <= cold["mean_device_p99_us"], label
+        assert r["warm_hits"] > 0, label

@@ -460,6 +460,64 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate a multi-device, multi-tenant fleet with cohort warm-start.
+
+    Deterministic end to end: the fleet report's JSON is byte-identical
+    for any ``--workers`` count (device shards merge in canonical order).
+    Exits non-zero when the accounting identity served + degraded + shed
+    == offered breaks fleet-wide or for any tenant.
+    """
+    from repro.fleet import FleetConfig, run_fleet
+
+    _maybe_enable_obs(args)
+    devices = args.devices
+    tenants = args.tenants
+    requests = args.requests
+    if args.smoke:
+        # CI-sized fleet: small enough for seconds, big enough that every
+        # cohort has warm-started members and spillover actually fires
+        devices = min(devices, 6)
+        tenants = min(tenants, 3)
+        requests = min(requests, 120)
+    config = FleetConfig(
+        n_devices=devices,
+        n_tenants=tenants,
+        workers=args.workers,
+        requests_per_tenant=requests,
+        read_fraction=args.read_fraction,
+        mean_iops=args.read_iops,
+        footprint_pages=args.footprint_pages,
+        warm_start=not args.no_warm_start,
+        kind=args.kind,
+        cells_per_wordline=args.cells,
+    )
+    report = run_fleet(config, seed=args.seed)
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro fleet: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"fleet report -> {args.json}")
+    status = _export_obs(args)
+    if not report.balanced:
+        acc = report.accounting
+        print(f"repro fleet: FAIL: request accounting imbalanced "
+              f"(served {acc.get('served')} + degraded {acc.get('degraded')} "
+              f"+ shed {acc.get('shed')} != offered {acc.get('offered')}; "
+              f"per-tenant: " + ", ".join(
+                  f"{t}={'ok' if v.get('balanced') else 'IMBALANCED'}"
+                  for t, v in sorted(acc.get("tenants", {}).items())
+              ), file=sys.stderr)
+        return 1
+    return status
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -913,6 +971,38 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers(p)
     add_obs(p)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "fleet",
+        help="multi-device multi-tenant fleet with cohort cache warm-start",
+    )
+    p.add_argument("--kind", choices=["tlc", "qlc"], default="tlc")
+    p.add_argument("--cells", type=int, default=4096,
+                   help="cells per simulated wordline")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--devices", type=int, default=8,
+                   help="devices in the fleet")
+    p.add_argument("--tenants", type=int, default=4,
+                   help="tenant workload streams")
+    p.add_argument("--requests", type=int, default=200,
+                   help="requests per tenant")
+    p.add_argument("--read-fraction", type=float, default=0.9,
+                   help="read share of each tenant's requests")
+    p.add_argument("--read-iops", type=float, default=2000.0,
+                   help="per-tenant open-loop arrival rate")
+    p.add_argument("--footprint-pages", type=int, default=1024,
+                   help="logical pages per tenant partition")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="disable cohort cache warm-start (every device "
+                        "runs cold)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized fleet: at most 6 devices x 3 tenants x "
+                        "120 requests")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON fleet report here")
+    add_workers(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
         "chaos",

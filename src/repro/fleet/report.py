@@ -1,0 +1,176 @@
+"""The fleet report: what one multi-device, multi-tenant run produced.
+
+Wall-clock free and worker-invariant: every field derives from the
+deterministic per-device simulations merged in canonical device order, so
+``FleetReport.to_json()`` is byte-identical at any ``--workers`` count —
+the same contract the chaos and replay reports keep, asserted by
+``tests/test_fleet.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.report import format_table
+
+
+@dataclass
+class FleetReport:
+    """Aggregates of one fleet run."""
+
+    seed: int
+    kind: str
+    n_devices: int
+    n_tenants: int
+    warm_start_enabled: bool
+    #: the longest device horizon (virtual us) — devices run independent
+    #: virtual clocks, so this is the fleet's makespan, not a shared time
+    horizon_us: float = 0.0
+    #: one summary per device, in device-index order
+    devices: List[Dict[str, Any]] = field(default_factory=list)
+    #: cohort label -> membership + warm-start provenance
+    cohorts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: fleet-wide per-tenant SLO rollup (exact percentiles over the
+    #: concatenated per-device samples, canonical device order)
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: dispatcher routing: records + capacity + spillover
+    dispatch: Dict[str, Any] = field(default_factory=dict)
+    #: fleet-wide offered/served/degraded/shed + per-tenant balance
+    accounting: Dict[str, Any] = field(default_factory=dict)
+    #: retries -> page reads fleet-wide (string keys, JSON-sortable)
+    retry_histogram: Dict[str, int] = field(default_factory=dict)
+    #: warm-start rollup: entries exported/imported, warm hits, and the
+    #: cold vs warm-started retries-per-read comparison
+    warm: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def pages_read(self) -> int:
+        return sum(self.retry_histogram.values())
+
+    @property
+    def mean_retries_per_read(self) -> float:
+        reads = self.pages_read
+        if not reads:
+            return 0.0
+        total = sum(int(k) * v for k, v in self.retry_histogram.items())
+        return total / reads
+
+    @property
+    def balanced(self) -> bool:
+        """The accounting identity, fleet-wide *and* per tenant."""
+        if not self.accounting.get("balanced", False):
+            return False
+        return all(
+            t.get("balanced", False) for t in self.accounting.get(
+                "tenants", {}
+            ).values()
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "seed": self.seed,
+            "kind": self.kind,
+            "n_devices": self.n_devices,
+            "n_tenants": self.n_tenants,
+            "warm_start_enabled": self.warm_start_enabled,
+            "horizon_us": self.horizon_us,
+            "devices": self.devices,
+            "cohorts": self.cohorts,
+            "tenants": self.tenants,
+            "dispatch": self.dispatch,
+            "accounting": self.accounting,
+            "retry_histogram": {
+                k: self.retry_histogram[k]
+                for k in sorted(self.retry_histogram, key=int)
+            },
+            "warm": self.warm,
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        sections: List[str] = []
+        acc = self.accounting
+        sections.append(
+            f"fleet: {self.n_devices} devices x {self.n_tenants} tenants "
+            f"(seed {self.seed}, {self.kind}, warm-start "
+            f"{'on' if self.warm_start_enabled else 'off'})"
+        )
+
+        device_rows = [
+            (
+                f"{d['index']:03d}",
+                d["cohort"],
+                d["role"],
+                f"{d['pages_read']:.0f}",
+                f"{d['mean_retries_per_read']:.3f}",
+                f"{d['cache_hit_rate']:.1%}",
+                f"{d['read_p99_us']:.0f}",
+            )
+            for d in self.devices
+        ]
+        sections.append(format_table(
+            device_rows,
+            headers=["device", "cohort", "role", "reads",
+                     "retries/read", "cache hit", "read p99 us"],
+            title="devices",
+        ))
+
+        tenant_rows = [
+            (
+                name,
+                f"{t['offered']:.0f}",
+                f"{t['served']:.0f}",
+                f"{t['degraded']:.0f}",
+                f"{t['shed']:.0f}",
+                f"{t['devices']:.0f}",
+                f"{t['read_p99_us']:.0f}",
+            )
+            for name, t in sorted(self.tenants.items())
+        ]
+        sections.append(format_table(
+            tenant_rows,
+            headers=["tenant", "offered", "served", "degraded", "shed",
+                     "devices", "read p99 us"],
+            title="per-tenant SLO (fleet-wide)",
+        ))
+
+        sections.append(
+            f"dispatch: {self.dispatch.get('total_requests', 0)} requests "
+            f"over {len(self.dispatch.get('records', []))} routes, "
+            f"{self.dispatch.get('spilled', 0)} spilled past affinity "
+            f"(device capacity {self.dispatch.get('capacity', 0)})"
+        )
+
+        if self.warm:
+            w = self.warm
+            sections.append(
+                "warm-start: "
+                f"{w.get('devices_warm_started', 0)} devices seeded with "
+                f"{w.get('entries_imported', 0)} entries "
+                f"({w.get('entries_exported', 0)} exported by cohort "
+                f"seeds); {w.get('warm_hits', 0)} warm hits, "
+                f"{w.get('warm_expired', 0)} warm expiries"
+            )
+            if w.get("devices_warm_started", 0):
+                sections.append(
+                    f"batch-transfer win: cold cohorts "
+                    f"{w.get('cold_mean_retries', 0.0):.3f} retries/read "
+                    f"(p99 {w.get('cold_read_p99_us', 0.0):.0f} us) vs "
+                    f"warm-started {w.get('warm_mean_retries', 0.0):.3f} "
+                    f"(p99 {w.get('warm_read_p99_us', 0.0):.0f} us)"
+                )
+
+        sections.append(
+            f"accounting: {acc.get('served', 0)} served + "
+            f"{acc.get('degraded', 0)} degraded + "
+            f"{acc.get('shed', 0)} shed = {acc.get('offered', 0)} offered "
+            f"({'balanced' if self.balanced else 'IMBALANCED'}; "
+            f"fleet reads {self.pages_read}, "
+            f"{self.mean_retries_per_read:.3f} retries/read)"
+        )
+        return "\n".join(sections)

@@ -19,7 +19,10 @@ into the three views the paper's evaluation keeps coming back to:
   ``degraded_read`` events (see :mod:`repro.faults`);
 * **trace replay** — batches and coalesced reads from ``batch_coalesce``
   events plus the last ``replay_tick`` progress snapshot (see
-  :mod:`repro.replay`).
+  :mod:`repro.replay`);
+* the **fleet** — tenant-to-device dispatch routes, warm-started devices
+  and the last fleet-wide per-tenant SLO rollup from ``fleet_dispatch``/
+  ``cache_warm_start``/``tenant_slo`` events (see :mod:`repro.fleet`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -36,6 +39,46 @@ from repro.obs.trace import EVENT_KINDS, TraceEvent
 
 _CASE_NAMES = {"case1": "case1 (undershoot: probe further)",
                "case2": "case2 (overshoot: probe back)"}
+
+#: Kinds ``fold`` aggregates into a dedicated summary section below.
+#: Together with :data:`TABLE_ONLY_KINDS` this must cover every registered
+#: kind — the obs regression test asserts the partition, so adding a kind
+#: to ``EVENT_KINDS`` without deciding how ``repro stats`` treats it is a
+#: test failure, not a silent omission.
+SUMMARIZED_KINDS = frozenset(
+    {
+        "read_attempt",
+        "read_complete",
+        "calibration_step",
+        "fallback_table",
+        "ecc_decode",
+        "gc_migrate",
+        "die_busy",
+        "channel_busy",
+        "cache_hit",
+        "cache_miss",
+        "scrub_pass",
+        "shed",
+        "shard_dispatch",
+        "shard_merge",
+        "fault_injected",
+        "breaker_trip",
+        "degraded_read",
+        "batch_coalesce",
+        "replay_tick",
+        "span",
+        "slo_window",
+        "fleet_dispatch",
+        "tenant_slo",
+        "cache_warm_start",
+        "trace_meta",
+    }
+)
+
+#: Kinds deliberately left to the per-kind count table: they carry no
+#: aggregate beyond their count (the sentinel inferences themselves are
+#: summarized through the retry histogram their reads produce).
+TABLE_ONLY_KINDS = frozenset({"sentinel_inference"})
 
 
 @dataclass
@@ -105,6 +148,16 @@ class TraceStats:
     slo_last_window: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: client -> cumulative late arrivals (from the last window event)
     slo_late_by_client: Dict[str, int] = field(default_factory=dict)
+    # fleet simulation (repro.fleet)
+    fleet_dispatches: int = 0
+    fleet_requests_routed: int = 0
+    fleet_spilled: int = 0
+    #: tenant -> devices its requests landed on
+    fleet_devices_by_tenant: Dict[str, int] = field(default_factory=dict)
+    fleet_warm_starts: int = 0  # devices warm-started
+    fleet_warm_entries: int = 0  # cache entries imported fleet-wide
+    #: tenant -> the last fleet-wide ``tenant_slo`` rollup seen
+    tenant_slo_last: Dict[str, Dict[str, float]] = field(default_factory=dict)
     # export trailer (``trace_meta``)
     trace_dropped: int = 0
     trace_capacity: int = 0
@@ -295,6 +348,24 @@ def fold(stats: TraceStats, event: TraceEvent) -> None:
                         "read_p99_us")
         }
         stats.slo_late_by_client[client] = int(f.get("late", 0))
+    elif event.kind == "fleet_dispatch":
+        stats.fleet_dispatches += 1
+        stats.fleet_requests_routed += int(f.get("requests", 0))
+        stats.fleet_spilled += int(f.get("spilled", 0))
+        tenant = str(f.get("tenant", "unknown"))
+        stats.fleet_devices_by_tenant[tenant] = (
+            stats.fleet_devices_by_tenant.get(tenant, 0) + 1
+        )
+    elif event.kind == "cache_warm_start":
+        stats.fleet_warm_starts += 1
+        stats.fleet_warm_entries += int(f.get("imported", 0))
+    elif event.kind == "tenant_slo":
+        tenant = str(f.get("tenant", "unknown"))
+        stats.tenant_slo_last[tenant] = {
+            key: float(f.get(key, 0.0))
+            for key in ("offered", "served", "degraded", "shed",
+                        "read_p99_us")
+        }
     elif event.kind not in EVENT_KINDS:
         stats.unknown_kinds[event.kind] = (
             stats.unknown_kinds.get(event.kind, 0) + 1
@@ -493,6 +564,35 @@ def render(stats: TraceStats, width: int = 48) -> str:
                 f"{last.get('iops', 0.0):.0f} IOPS, "
                 f"p99 {last.get('read_p99_us', 0.0):.0f} us; "
                 f"{late} late arrivals)"
+            )
+        sections.append("\n".join(lines))
+
+    if stats.fleet_dispatches or stats.tenant_slo_last:
+        lines = ["fleet:"]
+        if stats.fleet_dispatches:
+            per_tenant = ", ".join(
+                f"{tenant}:{count}" for tenant, count in
+                sorted(stats.fleet_devices_by_tenant.items())
+            )
+            lines.append(
+                f"  dispatch: {stats.fleet_requests_routed} requests over "
+                f"{stats.fleet_dispatches} tenant-device routes "
+                f"({stats.fleet_spilled} spilled past affinity; "
+                f"devices per tenant: {per_tenant})"
+            )
+        if stats.fleet_warm_starts:
+            lines.append(
+                f"  warm-start: {stats.fleet_warm_starts} devices seeded "
+                f"with {stats.fleet_warm_entries} cache entries"
+            )
+        for tenant in sorted(stats.tenant_slo_last):
+            t = stats.tenant_slo_last[tenant]
+            lines.append(
+                f"  {tenant}: {t.get('served', 0.0):.0f} served + "
+                f"{t.get('degraded', 0.0):.0f} degraded + "
+                f"{t.get('shed', 0.0):.0f} shed = "
+                f"{t.get('offered', 0.0):.0f} offered "
+                f"(read p99 {t.get('read_p99_us', 0.0):.0f} us)"
             )
         sections.append("\n".join(lines))
 

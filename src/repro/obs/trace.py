@@ -66,6 +66,17 @@ kind                  fields
                       iops, read_p99_us, late`` — one event-time SLO
                       window closed by the watermark
                       (:mod:`repro.service.slo`)
+``fleet_dispatch``    ``tenant, device, requests, spilled`` — one tenant's
+                      request share routed to one device by the fleet
+                      dispatcher (:mod:`repro.fleet`); ``spilled`` counts
+                      the requests that overflowed past the tenant's
+                      affinity device
+``tenant_slo``        ``tenant, offered, served, degraded, shed,
+                      read_p99_us`` — fleet-wide per-tenant SLO rollup
+                      emitted after the canonical-order merge
+``cache_warm_start``  ``device, cohort, imported, source`` — a device
+                      seeded its voltage-offset cache from its cohort's
+                      exported state (``source`` is the donor device)
 ``trace_meta``        ``dropped, capacity, events`` — trailer line
                       appended by ``export_jsonl`` so a truncated trace is
                       never misread as a complete run
@@ -111,6 +122,10 @@ EVENT_KINDS = frozenset(
         "span",
         # streaming event-time SLO windows (repro.service.slo)
         "slo_window",
+        # fleet simulation (repro.fleet)
+        "fleet_dispatch",
+        "tenant_slo",
+        "cache_warm_start",
         # export trailer written by ``export_jsonl``
         "trace_meta",
     }

@@ -220,6 +220,32 @@ class FlashReadService:
         return self._erases.get((key[0], key[1]), 0)
 
     # ------------------------------------------------------------------
+    # fleet integration (repro.fleet)
+    # ------------------------------------------------------------------
+    def age_blocks(self, pe_cycles: int) -> None:
+        """Set every block's erase-count baseline — a device that has
+        lived ``pe_cycles`` program/erase cycles before this run.  The
+        voltage cache's P/E-drift invalidation and the fleet's cohort
+        warm-start both measure erase *deltas* against this baseline."""
+        if pe_cycles < 0:
+            raise ValueError("pe_cycles must be non-negative")
+        for die in range(self.ssd_config.n_dies):
+            for block in range(self.ssd_config.blocks_per_die):
+                self._erases[(die, block)] = pe_cycles
+
+    def export_cache_state(self) -> Dict[str, object]:
+        """Snapshot the voltage cache for cohort warm-start (ages and
+        P/E lags relative to this device's clock and erase counters)."""
+        return self.cache.export_state(self.queue.now, pe_of=self._pe_of)
+
+    def warm_start_cache(self, state: Dict[str, object]) -> int:
+        """Seed the voltage cache from a cohort sibling's exported state;
+        returns the number of entries imported."""
+        return self.cache.warm_start(
+            state, now_us=self.queue.now, pe_of=self._pe_of
+        )
+
+    # ------------------------------------------------------------------
     # span tracing (repro.obs.spans)
     # ------------------------------------------------------------------
     def _spans_on(self) -> bool:
@@ -338,18 +364,23 @@ class FlashReadService:
         modes: Optional[Dict[str, str]] = None,
         queue_depths: Optional[Dict[str, int]] = None,
         scenario: str = "custom",
+        tenants: Optional[Dict[str, str]] = None,
     ) -> ServiceReport:
         """Serve pre-built per-client request streams to completion.
 
-        The entry point of the trace-replay frontend (:mod:`repro.replay`),
-        which builds its requests from a parsed block-level trace instead of
-        a :class:`ClientSpec`.  Clients default to open-loop (``"poisson"``
-        mode: every request must carry an absolute ``arrival_us``); closed
-        clients additionally need a ``queue_depths`` entry.  Scheduling
-        order is the dict's insertion order, so callers control tie-breaks
-        deterministically."""
+        The entry point of the trace-replay frontend (:mod:`repro.replay`)
+        and the fleet dispatcher (:mod:`repro.fleet`).  Clients default to
+        open-loop (``"poisson"`` mode: every request must carry an absolute
+        ``arrival_us``); closed clients additionally need a
+        ``queue_depths`` entry.  Scheduling order is the dict's insertion
+        order, so callers control tie-breaks deterministically.  A
+        ``tenants`` client→tenant mapping adds the per-tenant SLO rollup
+        to the report (omitted entirely when absent, so single-tenant
+        reports keep their historical bytes)."""
         modes = modes or {}
         queue_depths = queue_depths or {}
+        if tenants:
+            self.slo.tenants = dict(tenants)
         self._client_mode = {
             name: modes.get(name, "poisson") for name in all_requests
         }
@@ -976,4 +1007,5 @@ class FlashReadService:
             resilience={
                 k: self.resilience[k] for k in sorted(self.resilience)
             },
+            tenants=self.slo.tenant_summary(horizon),
         )

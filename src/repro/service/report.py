@@ -42,6 +42,9 @@ class ServiceReport:
     #: resilience-path counters (timeouts, backoffs, breaker trips,
     #: degraded reads, quarantines); empty in fault-free runs
     resilience: Dict[str, float] = field(default_factory=dict)
+    #: per-tenant SLO rollup (see :meth:`SloMonitor.tenant_summary`);
+    #: empty unless the run declared a client -> tenant mapping
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -84,9 +87,9 @@ class ServiceReport:
         payload["retry_histogram"] = {
             str(k): v for k, v in sorted(self.retry_histogram.items())
         }
-        # fault/resilience/batch sections only exist when something
+        # fault/resilience/batch/tenant sections only exist when something
         # happened, so plain reports stay byte-identical to earlier builds
-        for optional in ("faults", "resilience", "batch"):
+        for optional in ("faults", "resilience", "batch", "tenants"):
             if not payload[optional]:
                 del payload[optional]
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -164,6 +167,25 @@ class ServiceReport:
                     for name, value in sorted(self.resilience.items())
                 )
             )
+        if self.tenants:
+            tenant_rows = [
+                (
+                    name,
+                    f"{t['clients']:.0f}",
+                    f"{t['offered']:.0f}",
+                    f"{t['served']:.0f}",
+                    f"{t['degraded']:.0f}",
+                    f"{t['shed']:.0f}",
+                    f"{t['read_p99_us']:.0f}",
+                )
+                for name, t in sorted(self.tenants.items())
+            ]
+            sections.append(format_table(
+                tenant_rows,
+                headers=["tenant", "clients", "offered", "served",
+                         "degraded", "shed", "read p99 us"],
+                title="per-tenant SLO",
+            ))
         if self.degraded_total:
             sections.append(
                 f"requests: {self.served_total} served + "

@@ -200,6 +200,10 @@ class SloMonitor:
         self.window_us = window_us
         self.allowed_lateness_us = allowed_lateness_us
         self.clients: Dict[str, ClientAccount] = {}
+        #: client name -> tenant name; empty means no tenant dimension
+        #: (the single-device case — reports then omit the section).  A
+        #: client missing from a non-empty mapping is its own tenant.
+        self.tenants: Dict[str, str] = {}
 
     def _account(self, client: str) -> ClientAccount:
         acct = self.clients.get(client)
@@ -335,5 +339,47 @@ class SloMonitor:
                 "write_count": writes.count,
                 "write_mean_us": writes.mean_us,
                 "write_p99_us": writes.p99_us,
+            }
+        return out
+
+    def tenant_summary(self, horizon_us: float) -> Dict[str, Dict[str, float]]:
+        """Per-tenant rollup of the client accounts (empty without tenants).
+
+        Latency percentiles are computed over the *concatenated* member
+        samples (members visited in sorted client order, so the rollup is
+        deterministic), not by averaging per-client percentiles.  The
+        ``served + degraded + shed == offered`` identity holds per tenant
+        because every member account already satisfies it."""
+        if not self.tenants:
+            return {}
+        members: Dict[str, List[str]] = {}
+        for client in sorted(self.clients):
+            members.setdefault(self.tenants.get(client, client), []).append(
+                client
+            )
+        seconds = horizon_us / 1e6 if horizon_us > 0 else 0.0
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant in sorted(members):
+            issued = completed = shed = degraded = 0
+            read_lats: List[float] = []
+            for client in members[tenant]:
+                acct = self.clients[client]
+                issued += acct.issued
+                completed += acct.completed
+                shed += acct.shed
+                degraded += acct.degraded
+                read_lats.extend(acct.read_latencies_us)
+            reads = LatencyStats.from_samples(read_lats)
+            out[tenant] = {
+                "clients": len(members[tenant]),
+                "offered": issued,
+                "served": completed - degraded,
+                "degraded": degraded,
+                "shed": shed,
+                "iops": completed / seconds if seconds else 0.0,
+                "read_count": reads.count,
+                "read_p50_us": reads.median_us,
+                "read_p99_us": reads.p99_us,
+                "read_p999_us": reads.p999_us,
             }
         return out

@@ -19,13 +19,25 @@ Capacity is bounded with LRU eviction so a large drive cannot grow the
 cache without bound.  All bookkeeping is deterministic (insertion-ordered
 dict, no wall-clock anywhere) — the serving layer's reports must be
 bit-identical across runs of the same seed.
+
+Caches also travel between devices: drives of the same (layer-count,
+P/E-age) cohort share process characteristics the way wordlines of one
+layer do, so a new device can start from a sibling's learned offsets
+instead of rediscovering them read by read — the fleet-scale form of the
+paper's Section III-D batch-transfer claim.  :meth:`export_state` snapshots
+the fresh entries with *relative* ages and P/E lags (quarantined keys are
+never exported), and :meth:`warm_start` re-bases such a snapshot onto the
+importing device's own virtual clock and erase counts, so TTL and
+P/E-drift invalidation keep working across the transfer.  Warm-started
+entries are tracked separately (``warm_started``/``warm_hits``/
+``warm_expired``) so the fleet report can prove the transfer win.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Cache key: (die, block-within-die, layer-within-block).
 CacheKey = Tuple[int, int, int]
@@ -71,6 +83,8 @@ class CacheEntry:
     stored_us: float  # virtual time of the inference / last refresh
     pe_cycles: int  # block erase count when stored
     hits: int = 0
+    #: entry arrived via warm_start() rather than local inference
+    warm: bool = False
 
     def age_us(self, now_us: float) -> float:
         return now_us - self.stored_us
@@ -88,6 +102,9 @@ class VoltageOffsetCache:
         self.evicted = 0  # LRU evictions
         self.refreshed = 0  # scrubber refreshes
         self.quarantined = 0  # corruption quarantines
+        self.warm_started = 0  # entries imported via warm_start()
+        self.warm_hits = 0  # hits served by imported entries
+        self.warm_expired = 0  # imported entries that went stale
         #: key -> quarantine expiry (virtual us); blocks lookups and puts
         self._quarantine: Dict[CacheKey, float] = {}
 
@@ -120,10 +137,14 @@ class VoltageOffsetCache:
         if not self._fresh(entry, now_us, pe_cycles):
             del self._entries[key]
             self.expired += 1
+            if entry.warm:
+                self.warm_expired += 1
             self.misses += 1
             return None
         entry.hits += 1
         self.hits += 1
+        if entry.warm:
+            self.warm_hits += 1
         self._entries.move_to_end(key)
         return entry
 
@@ -217,6 +238,83 @@ class VoltageOffsetCache:
         return entry.offset if entry is not None else default
 
     # ------------------------------------------------------------------
+    # cross-device transfer (fleet warm-start)
+    # ------------------------------------------------------------------
+    def export_state(
+        self,
+        now_us: float,
+        pe_of: Optional[Callable[[CacheKey], int]] = None,
+    ) -> Dict[str, Any]:
+        """JSON-portable snapshot of the fresh entries for cohort sharing.
+
+        Ages and erase counts are exported *relative* to this device —
+        ``age_us`` instead of ``stored_us``, and ``pe_lag`` (how many
+        erases the block has seen since the inference) instead of the raw
+        erase count — so the importer can re-base them onto its own
+        virtual clock and erase counters and the TTL / P/E-drift
+        invalidation rules keep their meaning across the transfer.
+
+        Keys under active quarantine and entries already past the TTL or
+        P/E bound are never exported; shipping a corrupted or stale offset
+        to a sibling would poison its fast path."""
+        entries = []
+        for key, entry in self._entries.items():
+            if self._quarantine and self._quarantined_now(key, now_us):
+                continue
+            pe_now = pe_of(key) if pe_of is not None else entry.pe_cycles
+            if not self._fresh(entry, now_us, pe_now):
+                continue
+            entries.append(
+                {
+                    "die": key[0],
+                    "block": key[1],
+                    "layer": key[2],
+                    "offset": entry.offset,
+                    "age_us": entry.age_us(now_us),
+                    "pe_lag": pe_now - entry.pe_cycles,
+                }
+            )
+        return {"ttl_us": self.config.ttl_us, "entries": entries}
+
+    def warm_start(
+        self,
+        state: Dict[str, Any],
+        now_us: float = 0.0,
+        pe_of: Optional[Callable[[CacheKey], int]] = None,
+    ) -> int:
+        """Seed this cache from a sibling's :meth:`export_state` snapshot.
+
+        Each imported entry is re-based: ``stored_us = now_us - age_us``
+        (so retention-drift TTL expiry still fires at the right virtual
+        age) and ``pe_cycles = local_pe - pe_lag`` (so the P/E-drift bound
+        still measures total erases since the original inference).  Local
+        entries and quarantined keys win over fleet history; entries that
+        would be born stale are skipped.  Returns the number imported."""
+        imported = 0
+        for item in state.get("entries", []):
+            key = (int(item["die"]), int(item["block"]), int(item["layer"]))
+            if self._quarantine and self._quarantined_now(key, now_us):
+                continue
+            if key in self._entries:
+                continue
+            pe_now = pe_of(key) if pe_of is not None else 0
+            entry = CacheEntry(
+                offset=float(item["offset"]),
+                stored_us=now_us - float(item["age_us"]),
+                pe_cycles=pe_now - int(item.get("pe_lag", 0)),
+                warm=True,
+            )
+            if not self._fresh(entry, now_us, pe_now):
+                continue
+            self._entries[key] = entry
+            imported += 1
+            while len(self._entries) > self.config.capacity:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+        self.warm_started += imported
+        return imported
+
+    # ------------------------------------------------------------------
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
@@ -229,7 +327,9 @@ class VoltageOffsetCache:
         """JSON-ready counters for the service report.
 
         The ``quarantined`` key only appears once a quarantine happened,
-        so fault-free reports stay byte-identical to pre-resilience ones."""
+        and the ``warm_*`` keys only once a warm-start imported entries,
+        so fault-free single-device reports stay byte-identical to
+        pre-resilience / pre-fleet ones."""
         out = {
             "entries": len(self._entries),
             "lookups": self.lookups,
@@ -242,4 +342,8 @@ class VoltageOffsetCache:
         }
         if self.quarantined:
             out["quarantined"] = self.quarantined
+        if self.warm_started:
+            out["warm_started"] = self.warm_started
+            out["warm_hits"] = self.warm_hits
+            out["warm_expired"] = self.warm_expired
         return out

@@ -308,6 +308,55 @@ class TestReplayCommand:
         assert "trace replay" in out
 
 
+class TestFleetCommand:
+    ARGS = ["fleet", "--seed", "3", "--devices", "3", "--tenants", "2",
+            "--requests", "40", "--footprint-pages", "256"]
+
+    def test_runs_and_writes_json(self, tmp_path, capsys):
+        out_json = tmp_path / "fleet.json"
+        code = main(self.ARGS + ["--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet: 3 devices x 2 tenants" in out
+        assert "per-tenant SLO" in out
+        assert "balanced" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["accounting"]["balanced"] is True
+        assert payload["n_devices"] == 3
+
+    def test_worker_counts_byte_identical(self, tmp_path):
+        reports = []
+        for workers in ("1", "2"):
+            path = tmp_path / f"w{workers}.json"
+            assert main(self.ARGS + ["--workers", workers,
+                                     "--json", str(path)]) == 0
+            reports.append(path.read_text())
+        assert reports[0] == reports[1]
+
+    def test_no_warm_start_drops_warm_section(self, tmp_path):
+        path = tmp_path / "cold.json"
+        assert main(self.ARGS + ["--no-warm-start",
+                                 "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["warm_start_enabled"] is False
+        assert payload["warm"] == {}
+
+    def test_fleet_exports_obs_trace(self, tmp_path, capsys):
+        from repro import obs
+
+        trace = tmp_path / "fleet.jsonl"
+        try:
+            code = main(self.ARGS + ["--obs-trace", str(trace)])
+        finally:
+            obs.disable()
+            obs.reset()
+        assert code == 0
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "tenant-00" in out
+
+
 class TestChaosCommand:
     @pytest.fixture(autouse=True)
     def _faults_off(self):

@@ -373,6 +373,52 @@ class TestFaultStats:
         assert stats.unknown_kinds == {"quantum_flip": 1}
         assert "unrecognized event kinds" in render(stats)
 
+    def test_every_registered_kind_rendered_or_explicitly_ignored(self):
+        """Every kind in EVENT_KINDS must be either folded into the stats
+        summary (SUMMARIZED_KINDS — its literal appears in fold()) or
+        explicitly declared table-only (TABLE_ONLY_KINDS).  A new event
+        kind that lands in neither would silently vanish from
+        ``repro stats`` output."""
+        import inspect
+
+        from repro.obs.stats import SUMMARIZED_KINDS, TABLE_ONLY_KINDS, fold
+        from repro.obs.trace import EVENT_KINDS
+
+        assert SUMMARIZED_KINDS | TABLE_ONLY_KINDS == EVENT_KINDS
+        assert not SUMMARIZED_KINDS & TABLE_ONLY_KINDS
+        source = inspect.getsource(fold)
+        for kind in sorted(SUMMARIZED_KINDS):
+            assert f'"{kind}"' in source, (
+                f"{kind} is claimed summarized but fold() never matches it"
+            )
+        for kind in sorted(TABLE_ONLY_KINDS):
+            assert f'"{kind}"' not in source, (
+                f"{kind} is claimed table-only but fold() handles it"
+            )
+
+    def test_fleet_kinds_aggregate_and_render(self):
+        events = [
+            TraceEvent(0, "fleet_dispatch", {"tenant": "t0", "device": 0,
+                                             "requests": 30, "spilled": 0}),
+            TraceEvent(1, "fleet_dispatch", {"tenant": "t0", "device": 1,
+                                             "requests": 10, "spilled": 10}),
+            TraceEvent(2, "cache_warm_start", {"device": 1, "cohort": "c",
+                                               "imported": 16, "source": 0}),
+            TraceEvent(3, "tenant_slo", {"tenant": "t0", "offered": 40,
+                                         "served": 40, "degraded": 0,
+                                         "shed": 0, "read_p99_us": 512.0}),
+        ]
+        stats = aggregate(events)
+        assert stats.unknown_kinds == {}
+        assert stats.fleet_requests_routed == 40
+        assert stats.fleet_spilled == 10
+        assert stats.fleet_devices_by_tenant == {"t0": 2}
+        assert stats.fleet_warm_starts == 1
+        assert stats.fleet_warm_entries == 16
+        text = render(stats)
+        assert "fleet:" in text
+        assert "40 offered" in text
+
     def test_every_emitted_kind_in_src_is_registered(self):
         """Grep every ``.emit("<kind>", ...)`` literal under src/ — a new
         call site must register its kind in EVENT_KINDS or stats replay
