@@ -604,16 +604,23 @@ def cmd_spans(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark the core read path and the engine's fan-out.
 
-    Three measurements land in the JSON report:
+    Four measurements land in the JSON report:
 
     * wordline read throughput (page reads per second on one aged wordline);
     * wall-clock of a serial ``RetryProfile.measure`` sweep;
     * wall-clock of the same sweep with ``--workers`` processes, plus a
-      byte-equality verdict of the two sample sets.
+      byte-equality verdict of the two sample sets — recorded as
+      ``"skipped"`` when the effective worker count collapses to 1 (a
+      parallel-vs-serial comparison on one CPU measures only pool
+      overhead, the misleading ``speedup: 1.0`` of old reports);
+    * a columnar block scan: the same reads through per-wordline
+      materialization vs :class:`repro.flash.block.BlockColumns` batched
+      kernels, with a bit-equality verdict of the error counts.
 
-    ``--check`` turns the determinism contract into an exit status: any
-    sample mismatch fails, and (on multi-CPU hosts only) a parallel run
-    slower than serial fails too.
+    ``--check`` turns the contracts into an exit status: any sample or
+    read mismatch fails, (on multi-CPU hosts only) a parallel run slower
+    than serial fails, and a batched scan under 3x the per-wordline
+    throughput fails (the columnar perf floor).
     """
     import json
     import time
@@ -674,16 +681,77 @@ def cmd_bench(args: argparse.Namespace) -> int:
         bench_chip(), policy, wordlines=wordlines, workers=1
     )
     serial_seconds = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    parallel = RetryProfile.measure(
-        bench_chip(), policy, wordlines=wordlines, workers=workers
+    compare_parallel = workers >= 2
+    if compare_parallel:
+        t0 = time.perf_counter()
+        parallel = RetryProfile.measure(
+            bench_chip(), policy, wordlines=wordlines, workers=workers
+        )
+        parallel_seconds = time.perf_counter() - t0
+        identical = all(
+            np.array_equal(serial.samples[p], parallel.samples[p])
+            for p in serial.samples
+        )
+        speedup = (
+            serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+        )
+    else:
+        parallel_seconds = None
+        identical = True  # nothing to compare; serial is the reference
+        speedup = None
+
+    # -- columnar batched block scan vs per-wordline -------------------
+    # reference workload: repeatedly scan a 24-wordline block (the
+    # scrubber / block-sweep access pattern).  The per-wordline side
+    # re-materializes each wordline per pass exactly as today's sweeps do
+    # (``iter_wordlines``); the columnar side builds one BlockColumns
+    # store (timed) and drives batched sense/decode kernels over the same
+    # reads.  Both sides take the best of ``bat_reps`` runs so the ratio
+    # survives noisy-neighbour CI hosts.
+    bat_cells = 1024
+    bat_wordlines = 24
+    bat_passes = 32
+    bat_reps = 2 if args.smoke else 3
+    bat_spec = _spec(args.kind, bat_cells)
+    bat_pages = list(range(bat_spec.pages_per_wordline))
+
+    def bat_chip() -> FlashChip:
+        chip = FlashChip(bat_spec, seed=args.seed, sentinel_ratio=0.002)
+        chip.set_block_stress(0, stress)
+        return chip
+
+    per_wl_seconds = batched_seconds = float("inf")
+    for _ in range(bat_reps):
+        chip = bat_chip()
+        t0 = time.perf_counter()
+        for _ in range(bat_passes):
+            for bwl in chip.iter_wordlines(0, range(bat_wordlines)):
+                for p in bat_pages:
+                    bwl.read_page(p)
+        per_wl_seconds = min(per_wl_seconds, time.perf_counter() - t0)
+        chip = bat_chip()
+        t0 = time.perf_counter()
+        cols = chip.block_columns(0, range(bat_wordlines))
+        for _ in range(bat_passes):
+            for p in bat_pages:
+                cols.read_page_batch(p)
+        batched_seconds = min(batched_seconds, time.perf_counter() - t0)
+    bat_reads = bat_passes * bat_wordlines * len(bat_pages)
+    per_wl_rps = bat_reads / per_wl_seconds if per_wl_seconds > 0 else 0.0
+    batched_rps = bat_reads / batched_seconds if batched_seconds > 0 else 0.0
+    batched_speedup = (
+        per_wl_seconds / batched_seconds if batched_seconds > 0 else 0.0
     )
-    parallel_seconds = time.perf_counter() - t0
-    identical = all(
-        np.array_equal(serial.samples[p], parallel.samples[p])
-        for p in serial.samples
-    )
-    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    # bit-equality of one fresh pass: same chips, same reads, both paths
+    ref_errors = [
+        [int(r.n_errors) for p in bat_pages for r in (bwl.read_page(p),)]
+        for bwl in bat_chip().iter_wordlines(0, range(bat_wordlines))
+    ]
+    cols = bat_chip().block_columns(0, range(bat_wordlines))
+    bat_errors = [list(row) for row in np.stack(
+        [cols.read_page_batch(p).n_errors for p in bat_pages], axis=1
+    ).tolist()]
+    batched_identical = ref_errors == bat_errors
 
     report = {
         "bench": "repro-core",
@@ -692,6 +760,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "policy": policy.name,
         "cells_per_wordline": cells,
         "cpu_available": cpu,
+        "requested_workers": args.workers if args.workers else None,
+        "effective_workers": workers,
         "workers": workers,
         "wordline_read": {
             "reads": n_reads,
@@ -702,17 +772,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "wordlines": len(list(wordlines)),
             "pages_per_wordline": spec.pages_per_wordline,
             "serial_seconds": round(serial_seconds, 6),
+        },
+        "batched": {
+            "cells_per_wordline": bat_cells,
+            "wordlines": bat_wordlines,
+            "pages_per_wordline": len(bat_pages),
+            "passes": bat_passes,
+            "reads": bat_reads,
+            "per_wordline_seconds": round(per_wl_seconds, 6),
+            "per_wordline_reads_per_sec": round(per_wl_rps, 1),
+            "batched_seconds": round(batched_seconds, 6),
+            "batched_reads_per_sec": round(batched_rps, 1),
+            "speedup": round(batched_speedup, 3),
+            "identical_reads": batched_identical,
+        },
+    }
+    if compare_parallel:
+        report["profile_measure"].update({
             "parallel_seconds": round(parallel_seconds, 6),
             "speedup": round(speedup, 3),
             "identical_samples": identical,
-        },
-    }
+        })
+        measure_note = (
+            f"x{workers} workers {parallel_seconds:.2f}s "
+            f"(speedup {speedup:.2f}, samples "
+            f"{'identical' if identical else 'DIFFER'})"
+        )
+    else:
+        report["profile_measure"]["parallel"] = "skipped"
+        report["profile_measure"]["skip_reason"] = (
+            f"effective workers == {workers}: a parallel-vs-serial "
+            f"comparison would only measure pool overhead"
+        )
+        measure_note = f"parallel skipped ({workers} effective worker)"
     echo(
         f"wordline read: {reads_per_sec:,.0f} reads/s   "
-        f"measure: serial {serial_seconds:.2f}s, "
-        f"x{workers} workers {parallel_seconds:.2f}s "
-        f"(speedup {speedup:.2f}, samples "
-        f"{'identical' if identical else 'DIFFER'})"
+        f"measure: serial {serial_seconds:.2f}s, {measure_note}"
+    )
+    echo(
+        f"batched block scan: per-wordline {per_wl_rps:,.0f} reads/s, "
+        f"columnar {batched_rps:,.0f} reads/s "
+        f"(speedup {batched_speedup:.2f}, reads "
+        f"{'identical' if batched_identical else 'DIFFER'})"
     )
     if args.json:
         # keep the committed pre-PR reference measurements, if any, so
@@ -738,9 +839,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print("repro bench: FAIL: parallel samples differ from serial",
                   file=sys.stderr)
             return 1
-        if cpu >= 2 and workers >= 2 and speedup < 1.0:
+        if compare_parallel and cpu >= 2 and speedup < 1.0:
             print(f"repro bench: FAIL: parallel slower than serial "
                   f"(speedup {speedup:.2f} on {cpu} CPUs)", file=sys.stderr)
+            return 1
+        if not batched_identical:
+            print("repro bench: FAIL: batched block scan reads differ from "
+                  "per-wordline", file=sys.stderr)
+            return 1
+        if batched_speedup < 3.0:
+            print(f"repro bench: FAIL: batched block scan under the 3x "
+                  f"columnar perf floor (speedup {batched_speedup:.2f})",
+                  file=sys.stderr)
             return 1
         echo("bench check: ok")
     return 0

@@ -126,6 +126,41 @@ class CapabilityEcc:
                 )
         return ok
 
+    def decode_ok_batch(self, mismatch: np.ndarray) -> np.ndarray:
+        """Batched :meth:`decode_ok`: one row of error masks per wordline.
+
+        Frame boundaries match ``np.array_split`` in
+        :meth:`frame_error_counts` exactly, so ``decode_ok_batch(m)[i] ==
+        decode_ok(m[i])`` for every row; observability counters and events
+        are emitted per row to keep aggregate counts identical to the
+        per-row path (only their interleaving with other events differs).
+        """
+        m = np.asarray(mismatch, dtype=bool)
+        n = m.shape[1]
+        n_frames = max(1, -(-n // self.frame_bits))  # ceil
+        base, rem = divmod(n, n_frames)
+        sizes = [base + 1] * rem + [base] * (n_frames - rem)
+        bounds = np.cumsum([0] + sizes[:-1])
+        counts = np.add.reduceat(m.astype(np.int32), bounds, axis=1)
+        ok = (counts <= self.max_errors_per_frame()).all(axis=1)
+        if OBS.enabled:
+            for i in range(len(ok)):
+                row_ok = bool(ok[i])
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_ecc_decodes_total",
+                        help="page decode attempts by outcome",
+                        result="ok" if row_ok else "fail",
+                    ).inc()
+                if OBS.tracer.enabled:
+                    OBS.tracer.emit(
+                        "ecc_decode",
+                        decoded=row_ok,
+                        frames=int(counts.shape[1]),
+                        max_frame_errors=int(counts[i].max()),
+                    )
+        return ok
+
     def decode_ok_by_rate(self, rber: float) -> bool:
         """Uniform-error approximation, for analytic callers."""
         return rber <= self.effective_rber

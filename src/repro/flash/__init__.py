@@ -10,6 +10,7 @@ cell model:
 * ``variation``   — layer-to-layer / wordline-to-wordline process variation.
 * ``vth``         — per-cell threshold-voltage synthesis.
 * ``wordline``    — program/read of one wordline, error accounting.
+* ``block``       — columnar block store + batched sense/decode kernels.
 * ``chip``        — chip-level API (blocks, stress, wordline factory).
 * ``optimal``     — ground-truth optimal read-voltage search.
 """
@@ -18,6 +19,7 @@ from repro.flash.spec import FlashSpec, ReliabilityParams, TLC_SPEC, QLC_SPEC
 from repro.flash.gray import GrayCode
 from repro.flash.mechanisms import StressState, arrhenius_factor
 from repro.flash.wordline import Wordline, ReadResult
+from repro.flash.block import BlockColumns
 from repro.flash.chip import FlashChip
 from repro.flash.optimal import optimal_offsets, errors_at_offsets
 
@@ -31,6 +33,7 @@ __all__ = [
     "arrhenius_factor",
     "Wordline",
     "ReadResult",
+    "BlockColumns",
     "FlashChip",
     "optimal_offsets",
     "errors_at_offsets",

@@ -1,0 +1,530 @@
+"""Columnar (struct-of-arrays) storage for a batch of wordlines.
+
+:class:`BlockColumns` holds a set of wordlines of one block as dense 2D
+arrays — states, latents and Vth with wordlines as rows — so a whole
+block's synthesize / sense / decode / ECC pass is a handful of numpy
+kernels instead of a python loop over :class:`~repro.flash.wordline.Wordline`
+objects.  This is the storage layer behind the batched paths of
+``RetryProfile.measure``, ``characterize_chip`` and ``sweep_block_offsets``
+(see docs/PERFORMANCE.md for the layout and the views-vs-copies contract).
+
+Determinism contract: construction and every kernel draw from exactly the
+per-wordline seed-tree streams a fresh :class:`Wordline` would use — each
+row owns its ``data``/``latent``/``readnoise`` generators, and the batched
+kernels only batch the *arithmetic*, never the RNG consumption order.  A
+``wordline_view(row)`` is therefore bit-identical to materializing the same
+wordline directly, and a batched kernel over rows ``[a, b, c]`` produces
+exactly what three per-wordline calls in that order would.
+
+Memory per cell: int16 states + 3x float32 latents + float32 vth = 18
+bytes, with no per-wordline object overhead — a full paper-scale block
+(768 x 148736 cells) fits in ~2 GB where per-object wordlines would not.
+Kernels chunk rows internally so their working sets stay cache-sized on
+memory-bandwidth-starved hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.faults import FAULTS
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import FlashSpec
+from repro.flash.variation import BlockVariation, WordlineModifiers
+from repro.flash.vth import synthesize_vth_batch
+from repro.flash.wordline import (
+    OffsetsLike,
+    SentinelReadout,
+    Wordline,
+    count_cache_eviction,
+    make_offsets,
+)
+from repro.obs import OBS
+from repro.util.rng import derive_rng
+
+#: Target elements per kernel chunk (~4 MB of float64 scratch): keeps the
+#: batched working set inside the last-level cache instead of streaming
+#: multi-hundred-MB temporaries through memory.
+_CHUNK_ELEMS = 1 << 19
+
+
+def _note_kernel(
+    kernel: str, wordlines: int, cells: int, positions: int, seconds: float
+) -> None:
+    """Record one batched-kernel invocation (metrics + ``batch_sense``)."""
+    if not OBS.enabled:
+        return
+    if OBS.metrics.enabled:
+        OBS.metrics.counter(
+            "repro_flash_batch_calls_total",
+            help="batched flash kernel invocations",
+            kernel=kernel,
+        ).inc()
+        OBS.metrics.histogram(
+            "repro_flash_batch_wordlines",
+            help="wordlines (rows) processed per batched kernel call",
+            edges=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            kernel=kernel,
+        ).observe(float(wordlines))
+        OBS.metrics.histogram(
+            "repro_flash_batch_kernel_seconds",
+            help="wall-clock seconds per batched kernel call",
+            edges=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0),
+            kernel=kernel,
+        ).observe(seconds)
+    if OBS.tracer.enabled:
+        OBS.tracer.emit(
+            "batch_sense",
+            kernel=kernel,
+            wordlines=wordlines,
+            cells=cells,
+            positions=positions,
+            seconds=seconds,
+        )
+
+
+@dataclass(frozen=True)
+class BatchReadResult:
+    """Outcome of one batched page read (one row per wordline)."""
+
+    page: int
+    n_errors: np.ndarray  # (rows,) bit errors on data cells
+    n_data_cells: int
+    offsets: np.ndarray  # dense (n_voltages,) or per-row (rows, n_voltages)
+    mismatch: np.ndarray  # (rows, n_data_cells) per-data-cell error mask
+
+    @property
+    def rber(self) -> np.ndarray:
+        return self.n_errors / self.n_data_cells
+
+    def __len__(self) -> int:
+        return len(self.n_errors)
+
+
+class BlockColumns:
+    """Struct-of-arrays storage for ``indices`` wordlines of one block.
+
+    Construction draws each row's states and latents from that wordline's
+    own seed-tree streams (in row order, which cannot matter: the streams
+    are independent), then synthesizes all Vth rows with one batched
+    kernel.  The result is bit-identical to materializing each
+    :class:`Wordline` separately.
+    """
+
+    #: Distinct (stress, states version) Vth syntheses kept per store.  The
+    #: arrays are block-sized, so the memo is tighter than the per-wordline
+    #: one; evictions surface via ``repro_flash_cache_evictions_total``.
+    _VTH_CACHE_SIZE = 2
+    #: (page, states version) stored-bits arrays kept per store.
+    _STORED_BITS_CACHE_SIZE = 8
+
+    def __init__(
+        self,
+        spec: FlashSpec,
+        chip_seed: int,
+        block: int,
+        indices: Optional[Sequence[int]] = None,
+        sentinel_ratio: float = 0.002,
+        stress: Optional[StressState] = None,
+        variation: Optional[BlockVariation] = None,
+    ) -> None:
+        self.spec = spec
+        self.chip_seed = chip_seed
+        self.block = block
+        if indices is None:
+            indices = range(spec.wordlines_per_block)
+        self.indices: Tuple[int, ...] = tuple(int(i) for i in indices)
+        self.sentinel_ratio = float(sentinel_ratio)
+        if variation is None:
+            variation = BlockVariation(spec, chip_seed, block)
+        self.modifiers: List[WordlineModifiers] = [
+            variation.wordline_modifiers(i) for i in self.indices
+        ]
+
+        n = spec.cells_per_wordline
+        w = len(self.indices)
+        # shared sentinel geometry: the reserved columns and their
+        # alternating states are identical for every wordline of a spec
+        if sentinel_ratio > 0.0:
+            n_sent = spec.sentinel_cells(sentinel_ratio)
+            self.sentinel_indices = np.linspace(0, n - 1, n_sent).astype(
+                np.int64
+            )
+            s_low, s_high = spec.gray.adjacent_states(spec.sentinel_voltage)
+            self._sentinel_states_row = np.where(
+                np.arange(n_sent) % 2 == 0, s_low, s_high
+            ).astype(np.int16)
+        else:
+            self.sentinel_indices = np.empty(0, dtype=np.int64)
+            self._sentinel_states_row = np.empty(0, dtype=np.int16)
+        self.sentinel_mask = np.zeros(n, dtype=bool)
+        self.sentinel_mask[self.sentinel_indices] = True
+        self.data_mask = ~self.sentinel_mask
+        self._data_idx = np.flatnonzero(self.data_mask)
+        self._noise_scratch: Optional[np.ndarray] = None
+
+        # per-row construction: exactly the draws Wordline.__init__ makes,
+        # from each wordline's own streams
+        self.states = np.empty((w, n), dtype=np.int16)
+        self.prog_noise = np.empty((w, n), dtype=np.float32)
+        self.leak_rate = np.empty((w, n), dtype=np.float32)
+        self.tail_mag = np.empty((w, n), dtype=np.float32)
+        self._read_rngs: List[np.random.Generator] = []
+        from repro.flash.vth import sample_latents
+
+        for row, index in enumerate(self.indices):
+            data_rng = derive_rng(chip_seed, "data", block, index)
+            self.states[row] = data_rng.integers(
+                0, spec.n_states, size=n
+            ).astype(np.int16)
+            if len(self.sentinel_indices):
+                self.states[row, self.sentinel_indices] = (
+                    self._sentinel_states_row
+                )
+            latent_rng = derive_rng(chip_seed, "latent", block, index)
+            lat = sample_latents(spec, n, latent_rng)
+            self.prog_noise[row] = lat.prog_noise
+            self.leak_rate[row] = lat.leak_rate
+            self.tail_mag[row] = lat.tail_mag
+            self._read_rngs.append(
+                derive_rng(chip_seed, "readnoise", block, index)
+            )
+
+        self._states_version = 0
+        self._vth_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._stored_bits_cache: "OrderedDict[tuple, np.ndarray]" = (
+            OrderedDict()
+        )
+        self.stress = stress or StressState()
+        self.vth = self._synthesize_cached(self.stress)
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def n_wordlines(self) -> int:
+        return len(self.indices)
+
+    @property
+    def n_cells(self) -> int:
+        return self.spec.cells_per_wordline
+
+    @property
+    def n_sentinels(self) -> int:
+        return len(self.sentinel_indices)
+
+    @property
+    def n_data_cells(self) -> int:
+        return self.n_cells - self.n_sentinels
+
+    def read_rng(self, row: int) -> np.random.Generator:
+        """Row ``row``'s read-noise generator (shared with its views)."""
+        return self._read_rngs[row]
+
+    # ------------------------------------------------------------------
+    # stress / caches
+    # ------------------------------------------------------------------
+    def _synthesize_cached(self, stress: StressState) -> np.ndarray:
+        key = (stress, self._states_version)
+        vth = self._vth_cache.get(key)
+        if vth is None:
+            t0 = time.perf_counter()
+            vth = synthesize_vth_batch(
+                self.spec,
+                self.states,
+                stress,
+                self.modifiers,
+                self.prog_noise,
+                self.leak_rate,
+                self.tail_mag,
+            )
+            _note_kernel(
+                "synthesize",
+                self.n_wordlines,
+                self.n_cells,
+                0,
+                time.perf_counter() - t0,
+            )
+            self._vth_cache[key] = vth
+            while len(self._vth_cache) > self._VTH_CACHE_SIZE:
+                self._vth_cache.popitem(last=False)
+                count_cache_eviction("block_vth")
+        else:
+            self._vth_cache.move_to_end(key)
+        return vth
+
+    def set_stress(self, stress: StressState) -> None:
+        """Re-evaluate every row under a new stress condition."""
+        self.stress = stress
+        self.vth = self._synthesize_cached(stress)
+
+    def _stored_bits_batch(self, p: int) -> np.ndarray:
+        """Stored bits of page ``p`` for all rows and cells, cached."""
+        key = (p, self._states_version)
+        bits = self._stored_bits_cache.get(key)
+        if bits is None:
+            bits = self.spec.gray.stored_bits(p, self.states)
+            self._stored_bits_cache[key] = bits
+            while len(self._stored_bits_cache) > self._STORED_BITS_CACHE_SIZE:
+                self._stored_bits_cache.popitem(last=False)
+                count_cache_eviction("block_stored_bits")
+        else:
+            self._stored_bits_cache.move_to_end(key)
+        return bits
+
+    # ------------------------------------------------------------------
+    # per-wordline views
+    # ------------------------------------------------------------------
+    def wordline_view(self, row: int) -> Wordline:
+        """A :class:`Wordline` backed by this store's row ``row``.
+
+        Shares the row's arrays and its read-noise generator, so reads
+        through the view consume the same stream as batched kernels over
+        the same row — interleaving them stays bit-identical to a single
+        per-wordline instance.  ``program_pages`` on a view detaches it
+        (copy-on-write) so the shared columns are never mutated.
+        """
+        return Wordline.from_columns(self, row)
+
+    def iter_views(self):
+        for row in range(self.n_wordlines):
+            yield self.wordline_view(row)
+
+    # ------------------------------------------------------------------
+    # batched noise
+    # ------------------------------------------------------------------
+    def _noise_rows(self, rows: Sequence[int], n: int) -> np.ndarray:
+        """Fresh comparator noise for each row, same draws as ``_noise``.
+
+        Each row draws ``n`` values from its own generator, in row order
+        (irrelevant to the values: the streams are independent), scaled
+        and cast exactly like :meth:`Wordline._noise` — the scale and the
+        float64 -> float32 cast are elementwise, so applying them to the
+        stacked scratch instead of row by row changes nothing.
+        """
+        sigma = self.spec.read_noise_sigma
+        out = np.empty((len(rows), n), dtype=np.float32)
+        if sigma <= 0.0:
+            out.fill(0.0)
+            return out
+        scratch = self._noise_scratch
+        if (
+            scratch is None
+            or scratch.shape[0] < len(rows)
+            or scratch.shape[1] != n
+        ):
+            scratch = np.empty((len(rows), n), dtype=np.float64)
+            self._noise_scratch = scratch
+        for j, r in enumerate(rows):
+            self._read_rngs[r].standard_normal(out=scratch[j])
+        sub = scratch[: len(rows)]
+        sub *= sigma
+        out[...] = sub  # float64 -> float32 cast, identical to astype
+        return out
+
+    @staticmethod
+    def _selector(rows: List[int]) -> Union[slice, List[int]]:
+        """A basic slice for contiguous row runs (view, not fancy copy)."""
+        if rows and rows == list(range(rows[0], rows[0] + len(rows))):
+            return slice(rows[0], rows[0] + len(rows))
+        return rows
+
+    # ------------------------------------------------------------------
+    # batched sensing kernels
+    # ------------------------------------------------------------------
+    def _row_list(self, rows: Optional[Sequence[int]]) -> List[int]:
+        return list(range(self.n_wordlines)) if rows is None else list(rows)
+
+    def sense_regions_batch(
+        self,
+        positions: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        noisy: bool = True,
+    ) -> np.ndarray:
+        """Region index of every cell of every row (batched ``sense_regions``).
+
+        ``positions`` is either one shared ascending position vector
+        ``(V,)`` or a per-row matrix ``(len(rows), V)``.  Returns an
+        ``(len(rows), n_cells)`` int16 array; row ``j`` equals what
+        ``wordline_view(rows[j]).sense_regions(positions[j])`` would
+        return at the same stream position.
+        """
+        row_idx = self._row_list(rows)
+        positions = np.asarray(positions, dtype=np.float64)
+        per_row = positions.ndim == 2
+        if per_row:
+            if positions.shape[0] != len(row_idx):
+                raise ValueError(
+                    f"per-row positions want {len(row_idx)} rows, "
+                    f"got {positions.shape[0]}"
+                )
+            # same check-then-sort policy as the per-wordline path
+            bad = np.any(positions[:, 1:] < positions[:, :-1], axis=1)
+            if bad.any():
+                positions = positions.copy()
+                positions[bad] = np.sort(positions[bad], axis=1)
+            n_positions = positions.shape[1]
+        else:
+            if positions.size > 1 and np.any(positions[1:] < positions[:-1]):
+                positions = np.sort(positions)
+            n_positions = positions.size
+
+        n = self.n_cells
+        regions = np.empty((len(row_idx), n), dtype=np.int16)
+        chunk = max(1, _CHUNK_ELEMS // max(n, 1))
+        t0 = time.perf_counter()
+        cmp = None
+        for c0 in range(0, len(row_idx), chunk):
+            sub = row_idx[c0 : c0 + chunk]
+            vth = self.vth[self._selector(sub)]
+            if noisy:
+                sensed = self._noise_rows(sub, n)
+                sensed += vth  # float32 add, same as per-wordline order
+            else:
+                sensed = vth
+            reg = regions[c0 : c0 + len(sub)]
+            reg.fill(0)
+            if cmp is None or cmp.shape != sensed.shape:
+                cmp = np.empty(sensed.shape, dtype=bool)
+            if per_row:
+                pos = positions[c0 : c0 + chunk]
+                for v in range(n_positions):
+                    np.greater(sensed, pos[:, v : v + 1], out=cmp)
+                    reg += cmp
+            else:
+                for p in positions:
+                    np.greater(sensed, p, out=cmp)
+                    reg += cmp
+        _note_kernel(
+            "sense_regions",
+            len(row_idx),
+            n,
+            int(n_positions),
+            time.perf_counter() - t0,
+        )
+        return regions
+
+    def read_page_batch(
+        self,
+        page: Union[int, str],
+        offsets: Union[OffsetsLike, np.ndarray] = None,
+        rows: Optional[Sequence[int]] = None,
+    ) -> BatchReadResult:
+        """Read one page of every row in one batched kernel pass.
+
+        ``offsets`` accepts everything :func:`make_offsets` does (shared
+        across rows) or a per-row ``(len(rows), n_voltages)`` dense
+        matrix.  Per-row results are bit-identical to
+        ``wordline_view(r).read_page(page, offsets_r)`` issued in row
+        order.
+        """
+        spec = self.spec
+        p = spec.gray.page_index(page)
+        idx = spec.gray.page_voltage_arrays[p]
+        off = np.asarray(offsets) if isinstance(offsets, np.ndarray) else None
+        if off is not None and off.ndim == 2:
+            dense = off.astype(np.float64, copy=True)
+            if dense.shape[1] != spec.n_voltages:
+                raise ValueError(
+                    f"per-row offsets must have {spec.n_voltages} columns"
+                )
+            positions = spec.default_read_voltages[idx][None, :] + dense[:, idx]
+        else:
+            dense = make_offsets(spec, offsets)
+            positions = spec.default_read_voltages[idx] + dense[idx]
+        row_idx = self._row_list(rows)
+        regions = self.sense_regions_batch(positions, row_idx)
+        pattern = spec.gray.region_bits(p)
+        bits = pattern[regions]
+        stored = self._stored_bits_batch(p)
+        stored_rows = stored[self._selector(row_idx)]
+        mismatch = (bits != stored_rows)[:, self._data_idx]
+        n_err = mismatch.sum(axis=1).astype(np.int64)
+        if FAULTS.active:
+            for j, r in enumerate(row_idx):
+                n_err[j] = FAULTS.injector.flash_read(
+                    self.block, self.indices[r], mismatch[j], int(n_err[j])
+                )
+        return BatchReadResult(
+            page=p,
+            n_errors=n_err,
+            n_data_cells=self.n_data_cells,
+            offsets=dense,
+            mismatch=mismatch,
+        )
+
+    def sentinel_readout_batch(
+        self,
+        offset: float = 0.0,
+        rows: Optional[Sequence[int]] = None,
+    ) -> List[SentinelReadout]:
+        """Sentinel up/down errors of every row at the sentinel voltage.
+
+        One noise draw of ``n_sentinels`` values per row, in row order —
+        the same draw ``wordline_view(r).sentinel_readout(offset)`` makes.
+        """
+        if self.n_sentinels == 0:
+            raise RuntimeError("block columns have no sentinel cells")
+        spec = self.spec
+        row_idx = self._row_list(rows)
+        pos = spec.read_voltage(spec.sentinel_voltage, offset)
+        idx = self.sentinel_indices
+        t0 = time.perf_counter()
+        sel = self._selector(row_idx)
+        noise = self._noise_rows(row_idx, len(idx))
+        sensed = self.vth[sel][:, idx] + noise
+        high = sensed >= pos
+        s_low, s_high = spec.gray.adjacent_states(spec.sentinel_voltage)
+        sent_states = self.states[sel][:, idx]
+        up = np.count_nonzero((sent_states == s_low) & high, axis=1)
+        down = np.count_nonzero((sent_states == s_high) & ~high, axis=1)
+        _note_kernel(
+            "sentinel_readout",
+            len(row_idx),
+            len(idx),
+            1,
+            time.perf_counter() - t0,
+        )
+        return [
+            SentinelReadout(
+                up_errors=int(u), down_errors=int(d), n_sentinels=len(idx)
+            )
+            for u, d in zip(up, down)
+        ]
+
+    def single_voltage_counts(
+        self,
+        position: float,
+        rows: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Cells sensed at or above ``position``, per row (batched).
+
+        Equals ``int(wordline_view(r).single_voltage_read(position).sum())``
+        for each row at the same stream position; the boolean readout
+        itself is never materialized for all rows at once.
+        """
+        row_idx = self._row_list(rows)
+        n = self.n_cells
+        counts = np.empty(len(row_idx), dtype=np.int64)
+        chunk = max(1, _CHUNK_ELEMS // max(n, 1))
+        t0 = time.perf_counter()
+        for c0 in range(0, len(row_idx), chunk):
+            sub = row_idx[c0 : c0 + chunk]
+            sensed = self._noise_rows(sub, n)
+            sensed += self.vth[self._selector(sub)]
+            counts[c0 : c0 + chunk] = (sensed >= position).sum(axis=1)
+        _note_kernel(
+            "single_voltage", len(row_idx), n, 1, time.perf_counter() - t0
+        )
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockColumns({self.spec.name}, block={self.block}, "
+            f"wordlines={self.n_wordlines}, cells={self.n_cells})"
+        )

@@ -141,6 +141,48 @@ class FlashChip:
                 variation=variation,
             )
 
+    def block_columns(
+        self, block: int, indices: Optional[Sequence[int]] = None
+    ) -> "BlockColumns":
+        """Materialize wordlines of a block as one columnar store.
+
+        Returns a :class:`repro.flash.block.BlockColumns` — wordlines as
+        rows of dense (W, N) arrays, synthesized by one batched kernel.
+        Bit-identical to materializing the same wordlines one by one;
+        :meth:`BlockColumns.wordline_view` recovers the per-wordline API.
+        """
+        from repro.flash.block import BlockColumns
+
+        return BlockColumns(
+            self.spec,
+            self.seed,
+            block,
+            indices,
+            self.sentinel_ratio,
+            stress=self.block_stress(block),
+            variation=self.block_variation(block),
+        )
+
+    def iter_wordline_batches(
+        self,
+        block: int,
+        indices: Optional[Sequence[int]] = None,
+        batch: int = 32,
+    ) -> Iterator["BlockColumns"]:
+        """Yield columnar sub-batches of a block in wordline order.
+
+        The batched analogue of :meth:`iter_wordlines` for block-scale
+        sweeps: each batch is one :class:`BlockColumns` of up to ``batch``
+        wordlines, materialized, yielded, and garbage-collected as the
+        caller advances — bounding peak memory on paper-scale blocks.
+        """
+        if indices is None:
+            indices = range(self.spec.wordlines_per_block)
+        indices = list(indices)
+        batch = max(1, batch)
+        for b0 in range(0, len(indices), batch):
+            yield self.block_columns(block, indices[b0 : b0 + batch])
+
     # ------------------------------------------------------------------
     # convenience reads
     # ------------------------------------------------------------------

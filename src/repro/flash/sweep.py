@@ -127,8 +127,53 @@ def measured_optimal_offsets(
 
 
 # ----------------------------------------------------------------------
+# columnar batched sweeps
+# ----------------------------------------------------------------------
+def measured_optimal_offsets_batch(
+    cols, step: int = 4
+) -> List[Tuple[np.ndarray, int]]:
+    """Batched :func:`measured_optimal_offsets` over a columnar store.
+
+    One :meth:`repro.flash.block.BlockColumns.single_voltage_counts`
+    kernel call senses every wordline at each sweep position, in the same
+    (boundary, position) order the per-wordline loop uses — each row draws
+    from its own read-noise stream, so every row's sweep is bit-identical
+    to ``measured_optimal_offsets(cols.wordline_view(row), step=step)``.
+    """
+    spec = cols.spec
+    pitch = spec.state_pitch
+    span = (-int(0.85 * pitch), int(0.35 * pitch))
+    sweep_offsets = np.arange(span[0], span[1] + 1, step)
+    n_rows = cols.n_wordlines
+    dense = np.zeros((n_rows, spec.n_voltages))
+    reads_per_row = 0
+    for v in range(1, spec.n_voltages + 1):
+        base = spec.read_voltage(v)
+        cumulative = np.empty((n_rows, len(sweep_offsets)), dtype=np.int64)
+        for i, off in enumerate(sweep_offsets):
+            above = cols.single_voltage_counts(base + off)
+            cumulative[:, i] = cols.n_cells - above
+        histogram = np.diff(cumulative, axis=1)
+        np.clip(histogram, 0, None, out=histogram)
+        reads_per_row += len(sweep_offsets)
+        for r in range(n_rows):
+            dense[r, v - 1] = SweepResult(
+                vindex=v,
+                offsets=sweep_offsets,
+                cumulative=cumulative[r],
+                histogram=histogram[r],
+                reads_used=len(sweep_offsets),
+            ).valley_offset()
+    return [(dense[r], reads_per_row) for r in range(n_rows)]
+
+
+# ----------------------------------------------------------------------
 # block-scale sweeps (engine-backed)
 # ----------------------------------------------------------------------
+#: Cells per columnar sub-batch of a sweep shard.
+_SWEEP_BATCH_CELLS = 1 << 23
+
+
 @dataclass(frozen=True)
 class _SweepTask:
     """Chip identity + sweep parameters shipped to shard workers."""
@@ -138,12 +183,15 @@ class _SweepTask:
     sentinel_ratio: float
     stress: object
     step: int
+    batched: bool = True  # columnar batch path (bit-identical)
 
 
 def _sweep_shard(task: _SweepTask, shard) -> List[Tuple[np.ndarray, int]]:
     """Sweep every wordline of one shard with its own read-noise stream."""
     from repro.flash.chip import FlashChip
 
+    if task.batched:
+        return _sweep_shard_batched(task, shard)
     chip = FlashChip(
         task.spec, task.seed, task.sentinel_ratio, cache_wordlines=1
     )
@@ -154,12 +202,37 @@ def _sweep_shard(task: _SweepTask, shard) -> List[Tuple[np.ndarray, int]]:
     return rows
 
 
+def _sweep_shard_batched(
+    task: _SweepTask, shard
+) -> List[Tuple[np.ndarray, int]]:
+    """Columnar form of ``_sweep_shard``: same rows, batched sense kernels."""
+    from repro.flash.block import BlockColumns
+
+    indices = list(shard.wordlines)
+    per_batch = max(
+        1, _SWEEP_BATCH_CELLS // max(task.spec.cells_per_wordline, 1)
+    )
+    rows: List[Tuple[np.ndarray, int]] = []
+    for b0 in range(0, len(indices), per_batch):
+        cols = BlockColumns(
+            task.spec,
+            task.seed,
+            shard.block,
+            indices[b0 : b0 + per_batch],
+            task.sentinel_ratio,
+            stress=task.stress,
+        )
+        rows.extend(measured_optimal_offsets_batch(cols, step=task.step))
+    return rows
+
+
 def sweep_block_offsets(
     chip,
     block: int,
     wordlines: Optional[Sequence[int]] = None,
     step: int = 4,
     workers: int = 1,
+    batched: bool = True,
 ) -> Tuple[np.ndarray, int]:
     """Measured optimal offsets of every wordline of one block.
 
@@ -170,7 +243,8 @@ def sweep_block_offsets(
 
     Each wordline's sweep consumes that wordline's *own* read-noise
     stream, so the result is byte-identical for any ``workers`` value
-    (fan-out via :class:`repro.engine.ParallelMap`).
+    (fan-out via :class:`repro.engine.ParallelMap`) and for either value
+    of ``batched`` (columnar batched kernels vs the per-wordline loop).
     """
     from repro.engine import ParallelMap, plan_wordline_shards
 
@@ -187,6 +261,7 @@ def sweep_block_offsets(
         sentinel_ratio=chip.sentinel_ratio,
         stress=chip.block_stress(block),
         step=step,
+        batched=batched,
     )
     engine = ParallelMap(workers=workers)
     per_shard = engine.run(

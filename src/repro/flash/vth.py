@@ -93,3 +93,66 @@ def synthesize_vth(
                 seg & programmed, mods.anomaly.amp_steps * rscale * weights, 0.0
             )
     return vth.astype(np.float32)
+
+
+def synthesize_vth_batch(
+    spec: FlashSpec,
+    states: np.ndarray,  # (wordlines, cells) int
+    stress: StressState,
+    mods_list: "list[WordlineModifiers]",
+    prog_noise: np.ndarray,  # (wordlines, cells) float32
+    leak_rate: np.ndarray,  # (wordlines, cells) float32
+    tail_mag: np.ndarray,  # (wordlines, cells) float32
+) -> np.ndarray:
+    """Batched :func:`synthesize_vth`: one row per wordline, bit-identical.
+
+    Every term is elementwise (or a per-row gather), so evaluating the
+    expression on 2D arrays applies exactly the per-row operations in the
+    same order and dtypes — row ``i`` of the result equals
+    ``synthesize_vth(spec, states[i], stress, mods_list[i], latents_i)``.
+    Rows are processed in cache-sized chunks: the float64 intermediates of
+    a whole block would otherwise stream hundreds of MB through memory.
+    """
+    rel = spec.reliability
+    centers = spec.state_centers
+    base_sigmas = state_sigmas(spec, stress)
+    base_shifts = state_mean_shifts(spec, stress)
+    rscale = retention_scale(stress, spec)
+
+    n_wordlines, n_cells = states.shape
+    sigma_mult = np.array([m.sigma_mult for m in mods_list], dtype=np.float64)
+    shift_mult = np.array([m.shift_mult for m in mods_list], dtype=np.float64)
+    jitter = np.stack([m.state_jitter for m in mods_list])
+    # (wordlines, n_states) per-row tables; the scalar-x-vector products of
+    # the per-row path become elementwise products of the same operands
+    sigmas = base_sigmas[None, :] * sigma_mult[:, None]
+    shifts = base_shifts[None, :] * shift_mult[:, None]
+    mean_tab = centers[None, :] + jitter + 0.0
+    tail_depth = rel.tail_scale_steps * min(rscale, 1.5) if rscale > 0.0 else 0.0
+    weights_tab = state_shift_weights(spec) if rscale > 0.0 else None
+
+    out = np.empty((n_wordlines, n_cells), dtype=np.float32)
+    chunk = max(1, (1 << 19) // max(n_cells, 1))
+    for c0 in range(0, n_wordlines, chunk):
+        c1 = min(c0 + chunk, n_wordlines)
+        st = states[c0:c1].astype(np.int64, copy=False)
+        means = np.take_along_axis(mean_tab[c0:c1], st, axis=1)
+        vth = means + prog_noise[c0:c1] * np.take_along_axis(
+            sigmas[c0:c1], st, axis=1
+        )
+        vth += np.take_along_axis(shifts[c0:c1], st, axis=1) * leak_rate[c0:c1]
+        if rscale > 0.0:
+            programmed = states[c0:c1] > 0
+            vth -= np.where(programmed, tail_mag[c0:c1] * tail_depth, 0.0)
+            for j in range(c0, c1):
+                anomaly = mods_list[j].anomaly
+                if anomaly is not None:
+                    w = weights_tab[states[j]]
+                    seg = anomaly.mask(n_cells)
+                    vth[j - c0] -= np.where(
+                        seg & programmed[j - c0],
+                        anomaly.amp_steps * rscale * w,
+                        0.0,
+                    )
+        out[c0:c1] = vth  # float64 -> float32 cast, identical to astype
+    return out

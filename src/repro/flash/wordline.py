@@ -24,9 +24,24 @@ from repro.flash.mechanisms import StressState
 from repro.flash.spec import FlashSpec
 from repro.flash.variation import BlockVariation, WordlineModifiers
 from repro.flash.vth import CellLatents, sample_latents, synthesize_vth
+from repro.obs import OBS
 from repro.util.rng import derive_rng
 
 OffsetsLike = Union[None, float, Mapping[int, float], Sequence[float], np.ndarray]
+
+
+def count_cache_eviction(cache: str) -> None:
+    """Count one bounded-cache eviction (vth memo, stored bits, ...).
+
+    Long aging sweeps touch many distinct :class:`StressState` keys; the
+    caches stay bounded and this counter makes the churn observable.
+    """
+    if OBS.enabled and OBS.metrics.enabled:
+        OBS.metrics.counter(
+            "repro_flash_cache_evictions_total",
+            help="bounded flash-model cache evictions by cache kind",
+            cache=cache,
+        ).inc()
 
 
 def make_offsets(spec: FlashSpec, offsets: OffsetsLike = None) -> np.ndarray:
@@ -158,11 +173,56 @@ class Wordline:
         # caches keyed by (stress, states version); the stored cells only
         # change through program_pages, which bumps the version
         self._states_version = 0
-        self._stored_bits_cache: Dict[int, Tuple[int, np.ndarray]] = {}
+        self._stored_bits_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._vth_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._sorted_by_state: Optional[Dict[int, np.ndarray]] = None
         self.stress = stress or StressState()
         self.vth = self._synthesize_cached(self.stress)
+
+    #: Views created by :meth:`from_columns` share their row arrays with a
+    #: :class:`repro.flash.block.BlockColumns` store; mutating operations
+    #: (``program_pages``) detach first (copy-on-write).
+    _owns_cells = True
+
+    @classmethod
+    def from_columns(cls, cols, row: int) -> "Wordline":
+        """A wordline that is a thin view over one row of a columnar store.
+
+        Shares the row's states, latents, Vth and — crucially — its
+        read-noise generator: reads through the view and batched kernels
+        over the same row consume one stream, exactly as a single
+        materialized :class:`Wordline` would.  Behaviour is bit-identical
+        to constructing the wordline directly; ``program_pages`` and
+        ``set_stress`` to a new stress detach into view-local arrays
+        without touching the shared columns.
+        """
+        wl = cls.__new__(cls)
+        wl.spec = cols.spec
+        wl.chip_seed = cols.chip_seed
+        wl.block = cols.block
+        wl.index = cols.indices[row]
+        wl.layer = cols.spec.layer_of_wordline(wl.index)
+        wl.modifiers = cols.modifiers[row]
+        wl.states = cols.states[row]
+        wl.sentinel_ratio = cols.sentinel_ratio
+        wl.sentinel_indices = cols.sentinel_indices
+        wl._sentinel_mask = cols.sentinel_mask
+        wl._data_mask = cols.data_mask
+        wl._latents = CellLatents(
+            prog_noise=cols.prog_noise[row],
+            leak_rate=cols.leak_rate[row],
+            tail_mag=cols.tail_mag[row],
+        )
+        wl._read_rng = cols.read_rng(row)
+        wl._owns_cells = False
+        wl._states_version = 0
+        wl._stored_bits_cache = OrderedDict()
+        wl._vth_cache = OrderedDict()
+        wl._sorted_by_state = None
+        wl.stress = cols.stress
+        wl.vth = cols.vth[row]
+        wl._vth_cache[(cols.stress, 0)] = wl.vth
+        return wl
 
     # ------------------------------------------------------------------
     # programming user data
@@ -196,6 +256,11 @@ class Wordline:
                     f"got {bits.shape}"
                 )
             code |= (bits.astype(np.int64) & 1) << p
+        if not self._owns_cells:
+            # view over a columnar store: detach before mutating so the
+            # shared block columns keep their original data
+            self.states = self.states.copy()
+            self._owns_cells = True
         self.states[self._data_mask] = gray.decode_table[code]
         self._states_version += 1
         self.set_stress(self.stress)
@@ -228,6 +293,9 @@ class Wordline:
     #: wordline.  Small: the common flip-flop is a service/characterization
     #: loop toggling between a couple of stress points.
     _VTH_CACHE_SIZE = 4
+    #: Distinct (page, program state) stored-bit arrays remembered per
+    #: wordline; bounded so repeated reprogramming cannot grow memory.
+    _STORED_BITS_CACHE_SIZE = 8
 
     def _synthesize_cached(self, stress: StressState) -> np.ndarray:
         """Memoized ``synthesize_vth`` — a pure function of the cache key.
@@ -247,17 +315,23 @@ class Wordline:
             self._vth_cache[key] = vth
             while len(self._vth_cache) > self._VTH_CACHE_SIZE:
                 self._vth_cache.popitem(last=False)
+                count_cache_eviction("wordline_vth")
         else:
             self._vth_cache.move_to_end(key)
         return vth
 
     def _stored_bits(self, p: int) -> np.ndarray:
         """Stored bits of page ``p`` for all cells, cached per program state."""
-        hit = self._stored_bits_cache.get(p)
-        if hit is not None and hit[0] == self._states_version:
-            return hit[1]
-        bits = self.spec.gray.stored_bits(p, self.states)
-        self._stored_bits_cache[p] = (self._states_version, bits)
+        key = (p, self._states_version)
+        bits = self._stored_bits_cache.get(key)
+        if bits is None:
+            bits = self.spec.gray.stored_bits(p, self.states)
+            self._stored_bits_cache[key] = bits
+            while len(self._stored_bits_cache) > self._STORED_BITS_CACHE_SIZE:
+                self._stored_bits_cache.popitem(last=False)
+                count_cache_eviction("wordline_stored_bits")
+        else:
+            self._stored_bits_cache.move_to_end(key)
         return bits
 
     def set_stress(self, stress: StressState) -> None:

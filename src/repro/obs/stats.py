@@ -20,6 +20,8 @@ into the three views the paper's evaluation keeps coming back to:
 * **trace replay** — batches and coalesced reads from ``batch_coalesce``
   events plus the last ``replay_tick`` progress snapshot (see
   :mod:`repro.replay`);
+* **columnar kernels** — calls, wordlines per call and kernel seconds by
+  kernel name from ``batch_sense`` events (see :mod:`repro.flash.block`);
 * the **fleet** — tenant-to-device dispatch routes, warm-started devices
   and the last fleet-wide per-tenant SLO rollup from ``fleet_dispatch``/
   ``cache_warm_start``/``tenant_slo`` events (see :mod:`repro.fleet`).
@@ -66,6 +68,7 @@ SUMMARIZED_KINDS = frozenset(
         "degraded_read",
         "batch_coalesce",
         "replay_tick",
+        "batch_sense",
         "span",
         "slo_window",
         "fleet_dispatch",
@@ -133,6 +136,9 @@ class TraceStats:
     replay_ticks: int = 0
     #: the last ``replay_tick`` snapshot seen (offered/completed/shed)
     replay_last: Dict[str, float] = field(default_factory=dict)
+    # columnar batched kernels (repro.flash.block)
+    #: kernel name -> [calls, wordlines, kernel seconds]
+    batch_kernels: Dict[str, List[float]] = field(default_factory=dict)
     # span trees (repro.obs.spans)
     span_events: int = 0
     #: span name -> [count, total duration us] over every span event
@@ -321,6 +327,12 @@ def fold(stats: TraceStats, event: TraceEvent) -> None:
             key: float(f.get(key, 0.0))
             for key in ("ts", "offered", "completed", "shed")
         }
+    elif event.kind == "batch_sense":
+        kernel = str(f.get("kernel", "unknown"))
+        entry = stats.batch_kernels.setdefault(kernel, [0, 0, 0.0])
+        entry[0] += 1
+        entry[1] += int(f.get("wordlines", 0))
+        entry[2] += float(f.get("seconds", 0.0))
     elif event.kind == "span":
         stats.span_events += 1
         name = str(f.get("name", "unknown"))
@@ -516,6 +528,27 @@ def render(stats: TraceStats, width: int = 48) -> str:
                 f"{last.get('shed', 0.0):.0f} shed)"
             )
         sections.append("\n".join(lines))
+
+    if stats.batch_kernels:
+        rows = []
+        for kernel in sorted(stats.batch_kernels):
+            calls, wordlines, seconds = stats.batch_kernels[kernel]
+            calls = int(calls)
+            rows.append((
+                kernel,
+                calls,
+                int(wordlines),
+                f"{wordlines / calls:.1f}" if calls else "0.0",
+                f"{seconds * 1e3:.1f}",
+            ))
+        sections.append(
+            format_table(
+                rows,
+                headers=["kernel", "calls", "wordlines", "wl/call",
+                         "total ms"],
+                title="columnar batched kernels",
+            )
+        )
 
     if stats.span_events:
         rows = []

@@ -56,6 +56,11 @@ kind                  fields
                       scheduler served ``size`` co-queued reads of one
                       (die, block, wordline) off a single wordline
                       activation/sentinel inference (:mod:`repro.replay`)
+``batch_sense``       ``kernel, wordlines, cells, positions, seconds`` —
+                      one columnar kernel call over a wordline batch
+                      (:mod:`repro.flash.block`); ``kernel`` names the
+                      operation (``synthesize``, ``sense_regions``,
+                      ``sentinel_readout``, ``single_voltage``)
 ``replay_tick``       ``ts, offered, completed, shed`` — periodic progress
                       snapshot of a trace replay in virtual time
 ``span``              ``trace, span, parent, name, t0, t1`` plus free-form
@@ -118,6 +123,8 @@ EVENT_KINDS = frozenset(
         # trace replay (repro.replay, batched die scheduling)
         "batch_coalesce",
         "replay_tick",
+        # columnar batched kernels (repro.flash.block)
+        "batch_sense",
         # causal span trees (repro.obs.spans)
         "span",
         # streaming event-time SLO windows (repro.service.slo)

@@ -110,3 +110,65 @@ class CurrentFlashPolicy(ReadPolicy):
         if self.soft_fallback:
             self.soft_rescue(wordline, outcome, rng)
         return outcome
+
+    # ------------------------------------------------------------------
+    def read_batch(self, cols, pages, hints=None, rng=None):
+        """Lockstep batched read: one kernel call per (page, ladder entry).
+
+        The vendor table applies the same offsets to every wordline, so
+        attempt ``k`` of all still-failing rows is a single
+        ``read_page_batch`` call.  Per-row results are bit-identical to
+        :meth:`read`: each row's noise draws happen in the same order
+        (page-major, attempt-major) because attempt ``k`` only senses rows
+        that are still failing — exactly the attempts the serial loop
+        would make.  Falls back to the per-row loop when a shared ``rng``
+        or an active fault plan makes cross-row call order observable.
+        """
+        from repro.faults import FAULTS
+
+        if rng is not None or FAULTS.active:
+            return super().read_batch(cols, pages, hints, rng)
+        from repro.retry.policy import ReadAttempt, ReadOutcome
+
+        gray = cols.spec.gray
+        n_rows = cols.n_wordlines
+        outcomes = [[None] * len(pages) for _ in range(n_rows)]
+        ladder = [None] + [
+            self.table.entry(k)
+            for k in range(min(self.max_retries, len(self.table)))
+        ]
+        for j, page in enumerate(pages):
+            p = gray.page_index(page)
+            n_pv = len(gray.page_voltages(p))
+            outs = [
+                ReadOutcome(page=p, page_voltages=n_pv) for _ in range(n_rows)
+            ]
+            for r in range(n_rows):
+                outcomes[r][j] = outs[r]
+            active = list(range(n_rows))
+            for offsets in ladder:
+                if not active:
+                    break
+                batch = cols.read_page_batch(p, offsets, rows=active)
+                decoded = self.ecc.decode_ok_batch(batch.mismatch)
+                still_failing = []
+                for i, r in enumerate(active):
+                    out = outs[r]
+                    out.attempts.append(
+                        ReadAttempt(
+                            offsets=batch.offsets,
+                            rber=float(batch.rber[i]),
+                            decoded=bool(decoded[i]),
+                        )
+                    )
+                    if len(out.attempts) > 1:
+                        out.retries += 1
+                    out.success = bool(decoded[i])
+                    if not out.success:
+                        still_failing.append(r)
+                active = still_failing
+            if self.soft_fallback:
+                for r in active:
+                    self.soft_rescue(cols.wordline_view(r), outs[r], rng)
+        self._flush_batch_obs(outcomes)
+        return outcomes

@@ -167,6 +167,68 @@ class ReadPolicy(ABC):
         return False
 
     # ------------------------------------------------------------------
+    def read_batch(
+        self,
+        cols,
+        pages: Sequence[Union[int, str]],
+        hints: Optional[Sequence[Optional[float]]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[List[ReadOutcome]]:
+        """Read ``pages`` of every wordline of a columnar batch.
+
+        ``cols`` is a :class:`repro.flash.block.BlockColumns`; the return
+        value is ``outcomes[row][page_position]``.  The base implementation
+        loops wordline views in row order — bit-identical to per-wordline
+        reads by construction, and still faster than materializing
+        wordlines because the batch was synthesized in one kernel.
+        Policies whose retry ladder is data-independent (the vendor table)
+        override this with lockstep batched kernels.
+        """
+        out: List[List[ReadOutcome]] = []
+        for row in range(cols.n_wordlines):
+            wl = cols.wordline_view(row)
+            hint = hints[row] if hints is not None else None
+            out.append([self.read(wl, p, rng=rng, hint=hint) for p in pages])
+        return out
+
+    def _flush_batch_obs(self, outcomes: List[List[ReadOutcome]]) -> None:
+        """Emit the per-read obs a lockstep batch deferred, in row order.
+
+        Lockstep batched reads process attempts page-major across rows, so
+        they must not emit through :meth:`attempt` (the event order would
+        depend on batching).  Instead they record silently and this helper
+        replays the exact per-read stream — ``repro_reads_total`` /
+        ``repro_read_attempts_total`` increments and one ``read_attempt``
+        event per attempt — in canonical (row, page, attempt) order.
+        """
+        if not OBS.enabled:
+            return
+        for row in outcomes:
+            for outcome in row:
+                if OBS.metrics.enabled:
+                    OBS.metrics.counter(
+                        "repro_reads_total",
+                        help="page-read operations started",
+                        policy=self.name,
+                    ).inc()
+                for k, att in enumerate(outcome.attempts):
+                    if OBS.metrics.enabled:
+                        OBS.metrics.counter(
+                            "repro_read_attempts_total",
+                            help="full page read attempts (initial + retries)",
+                            policy=self.name,
+                        ).inc()
+                    if OBS.tracer.enabled:
+                        OBS.tracer.emit(
+                            "read_attempt",
+                            policy=self.name,
+                            page=outcome.page,
+                            attempt=k + 1,
+                            rber=float(att.rber),
+                            decoded=bool(att.decoded),
+                        )
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def read(
         self,

@@ -1,0 +1,253 @@
+"""Columnar block store (``repro.flash.block``): kernels vs. per-wordline.
+
+The contract under test is bit-identity: every batched kernel must produce
+exactly what the per-wordline path produces for the same wordlines at the
+same RNG stream positions ("batch the arithmetic, not the RNG consumption
+order").  Broader randomized coverage lives in
+``tests/test_property_block.py``; this file pins the mechanics — views,
+copy-on-write, cache bounds, observability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exp.common import default_ecc
+from repro.flash.block import BlockColumns
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.obs import OBS
+
+SEED = 11
+RATIO = 0.002
+
+
+def make_chip(spec, stress=None, seed=SEED):
+    chip = FlashChip(spec, seed=seed, sentinel_ratio=RATIO)
+    if stress is not None:
+        chip.set_block_stress(0, stress)
+    return chip
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()
+
+
+# ---------------------------------------------------------------------------
+# construction + views
+# ---------------------------------------------------------------------------
+class TestConstruction:
+    def test_columns_match_wordlines(self, tiny_tlc, aged_stress):
+        """Construction is bit-identical to per-wordline materialization."""
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(4))
+        for row, wl in enumerate(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(4))):
+            assert np.array_equal(cols.states[row], wl.states)
+            assert np.array_equal(cols.vth[row], wl.vth)
+            assert np.array_equal(cols.sentinel_indices, wl.sentinel_indices)
+
+    def test_wordline_view_reads_match_fresh_wordline(self, tiny_tlc, aged_stress):
+        """A view consumes the same noise stream as a dedicated Wordline."""
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(3))
+        fresh = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(3)))
+        for row in range(3):
+            view = cols.wordline_view(row)
+            for page in range(tiny_tlc.pages_per_wordline):
+                a = view.read_page(page)
+                b = fresh[row].read_page(page)
+                assert a.n_errors == b.n_errors
+                assert np.array_equal(a.mismatch, b.mismatch)
+
+    def test_view_then_batch_interleaving_stays_identical(self, tiny_tlc, aged_stress):
+        """View reads and batched kernels share one stream per row."""
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(2))
+        serial = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(2)))
+        # read page 0 through the views, page 1 through the batch kernel
+        for row in range(2):
+            assert (
+                cols.wordline_view(row).read_page(0).n_errors
+                == serial[row].read_page(0).n_errors
+            )
+        batch = cols.read_page_batch(1)
+        for row in range(2):
+            assert batch.n_errors[row] == serial[row].read_page(1).n_errors
+
+    def test_program_pages_copy_on_write(self, tiny_tlc):
+        """Writing through a view never mutates the shared columns."""
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        before = cols.states.copy()
+        view = cols.wordline_view(0)
+        bits = {
+            p: np.zeros(view.n_data_cells, dtype=np.uint8)
+            for p in range(tiny_tlc.pages_per_wordline)
+        }
+        view.program_pages(bits)
+        assert np.array_equal(cols.states, before)
+        assert not np.array_equal(view.states, before[0])
+
+    def test_iter_wordline_batches_partitions_in_order(self, tiny_tlc):
+        chip = make_chip(tiny_tlc)
+        got = []
+        for batch in chip.iter_wordline_batches(0, range(7), batch=3):
+            assert isinstance(batch, BlockColumns)
+            got.extend(batch.indices)
+        assert got == list(range(7))
+
+
+# ---------------------------------------------------------------------------
+# kernel bit-identity
+# ---------------------------------------------------------------------------
+class TestKernels:
+    def test_read_page_batch_matches_serial(self, tiny_tlc, aged_stress):
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(4))
+        serial = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(4)))
+        for page in range(tiny_tlc.pages_per_wordline):
+            batch = cols.read_page_batch(page)
+            for row, wl in enumerate(serial):
+                ref = wl.read_page(page)
+                assert batch.n_errors[row] == ref.n_errors
+                assert np.array_equal(batch.mismatch[row], ref.mismatch)
+                assert batch.rber[row] == ref.rber
+
+    def test_noncontiguous_row_subset(self, tiny_tlc, aged_stress):
+        """Fancy-indexed (ragged) subsets equal per-row calls in order."""
+        rows = [1, 3, 4, 6]
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(8))
+        ref_cols = make_chip(tiny_tlc, aged_stress).block_columns(0, range(8))
+        batch = cols.read_page_batch(0, rows=rows)
+        for j, r in enumerate(rows):
+            ref = ref_cols.wordline_view(r).read_page(0)
+            assert batch.n_errors[j] == ref.n_errors
+
+    def test_per_row_offsets(self, tiny_tlc, aged_stress):
+        """A (rows, n_voltages) offsets matrix applies row-wise."""
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(3))
+        serial = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(3)))
+        rng = np.random.default_rng(7)
+        offs = rng.integers(-40, 40, size=(3, tiny_tlc.n_voltages)).astype(float)
+        batch = cols.read_page_batch(0, offsets=offs)
+        for row, wl in enumerate(serial):
+            ref = wl.read_page(0, offs[row])
+            assert batch.n_errors[row] == ref.n_errors
+
+    def test_sentinel_readout_batch_matches_serial(self, tiny_tlc, aged_stress):
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(4))
+        serial = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(4)))
+        for off in (0.0, -12.0):
+            batch = cols.sentinel_readout_batch(off)
+            for row, wl in enumerate(serial):
+                ref = wl.sentinel_readout(off)
+                assert batch[row] == ref
+
+    def test_single_voltage_counts_matches_serial(self, tiny_tlc, aged_stress):
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(4))
+        serial = list(make_chip(tiny_tlc, aged_stress).iter_wordlines(0, range(4)))
+        pos = tiny_tlc.read_voltage(1, -8)
+        counts = cols.single_voltage_counts(pos)
+        for row, wl in enumerate(serial):
+            assert counts[row] == int(wl.single_voltage_read(pos).sum())
+
+    def test_decode_ok_batch_matches_decode_ok(self):
+        ecc = default_ecc("tlc")
+        rng = np.random.default_rng(3)
+        for width in (ecc.frame_bits * 2, ecc.frame_bits * 2 + 17, 100):
+            mismatch = rng.random((6, width)) < 0.004
+            batched = ecc.decode_ok_batch(mismatch)
+            for i in range(len(mismatch)):
+                assert batched[i] == ecc.decode_ok(mismatch[i])
+
+
+# ---------------------------------------------------------------------------
+# caches
+# ---------------------------------------------------------------------------
+class TestCaches:
+    def _eviction_count(self, cache):
+        text = OBS.metrics.render_prometheus()
+        for line in text.splitlines():
+            if "repro_flash_cache_evictions_total" in line and cache in line:
+                return float(line.rsplit(" ", 1)[1])
+        return 0.0
+
+    def test_vth_memo_bounded_with_eviction_counter(self, tiny_tlc):
+        OBS.enable(metrics=True, tracing=False)
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        stresses = [StressState(pe_cycles=p) for p in (100, 200, 300, 400)]
+        for s in stresses:
+            cols.set_stress(s)
+        assert len(cols._vth_cache) <= BlockColumns._VTH_CACHE_SIZE
+        assert self._eviction_count('cache="block_vth"') >= 1
+
+    def test_vth_memo_hit_returns_same_array(self, tiny_tlc, aged_stress):
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        cols.set_stress(aged_stress)
+        first = cols.vth
+        cols.set_stress(StressState())
+        cols.set_stress(aged_stress)
+        assert cols.vth is first
+
+    def test_stored_bits_cache_bounded_with_eviction_counter(self, tiny_tlc):
+        OBS.enable(metrics=True, tracing=False)
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        cols._STORED_BITS_CACHE_SIZE = 1  # shrink to force turnover
+        cols.read_page_batch(0)
+        cols.read_page_batch(1)
+        cols.read_page_batch(2)
+        assert len(cols._stored_bits_cache) <= 1
+        assert self._eviction_count('cache="block_stored_bits"') >= 2
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+class TestObservability:
+    def test_batch_sense_events_and_metrics(self, tiny_tlc, aged_stress):
+        OBS.enable(metrics=True, tracing=True)
+        chip = make_chip(tiny_tlc, aged_stress)
+        cols = chip.block_columns(0, range(3))
+        cols.read_page_batch(0)
+        cols.sentinel_readout_batch(0.0)
+        cols.single_voltage_counts(tiny_tlc.read_voltage(1, 0))
+        kinds = [e.fields["kernel"] for e in OBS.tracer.events() if e.kind == "batch_sense"]
+        assert "synthesize" in kinds
+        assert "sense_regions" in kinds
+        assert "sentinel_readout" in kinds
+        assert "single_voltage" in kinds
+        for e in OBS.tracer.events():
+            if e.kind == "batch_sense":
+                assert e.fields["wordlines"] >= 1
+                assert e.fields["seconds"] >= 0.0
+        text = OBS.metrics.render_prometheus()
+        assert "repro_flash_batch_calls_total" in text
+        assert "repro_flash_batch_kernel_seconds" in text
+
+    def test_stats_fold_batch_kernels(self, tiny_tlc):
+        from repro.obs.stats import aggregate, render
+
+        OBS.enable(metrics=False, tracing=True)
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        cols.read_page_batch(0)
+        stats = aggregate(OBS.tracer.events())
+        assert stats.batch_kernels["sense_regions"][0] >= 1
+        assert "columnar batched kernels" in render(stats)
+
+    def test_disabled_obs_emits_nothing(self, tiny_tlc):
+        chip = make_chip(tiny_tlc)
+        cols = chip.block_columns(0, range(2))
+        cols.read_page_batch(0)
+        assert len(OBS.tracer.events()) == 0

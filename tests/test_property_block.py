@@ -1,0 +1,194 @@
+"""Property tests: batched columnar kernels are bit-identical to serial.
+
+Randomizes over chip kind (TLC/QLC), stress condition, batch size
+(including 1) and ragged / non-contiguous row subsets, asserting the
+columnar kernels of :mod:`repro.flash.block` reproduce the per-wordline
+path exactly — errors, mismatch masks, RBER, sentinel readouts.  The
+deterministic end-to-end equivalences (``measure`` / ``characterize_chip``
+/ ``sweep_block_offsets`` with ``batched=True`` vs ``batched=False``) are
+pinned at the bottom.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.capability import CapabilityEcc
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+
+SPECS = {
+    kind: base.scaled(
+        cells_per_wordline=1024,
+        wordlines_per_layer=1,
+        layers=4,
+        name_suffix="-prop",
+    )
+    for kind, base in (("tlc", TLC_SPEC), ("qlc", QLC_SPEC))
+}
+
+STRESSES = (
+    StressState(),
+    StressState(pe_cycles=1500, retention_hours=1000.0),
+    StressState(pe_cycles=3000, retention_hours=8760.0),
+)
+
+
+def _chip(kind, stress):
+    chip = FlashChip(SPECS[kind], seed=5, sentinel_ratio=0.002)
+    chip.set_block_stress(0, stress)
+    return chip
+
+
+kinds = st.sampled_from(sorted(SPECS))
+stresses = st.sampled_from(STRESSES)
+# row subsets of the 4-wordline block: any size (incl. batch=1), any order,
+# contiguous or ragged — the kernels must not care
+row_subsets = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=4, unique=True
+)
+
+
+@given(kind=kinds, stress=stresses, rows=row_subsets)
+@settings(max_examples=25, deadline=None)
+def test_batched_read_and_sentinel_bit_identical(kind, stress, rows):
+    """Batched sense/decode/RBER equal per-wordline reads, row for row."""
+    spec = SPECS[kind]
+    cols = _chip(kind, stress).block_columns(0, range(4))
+    ref = _chip(kind, stress).block_columns(0, range(4))
+    for page in range(spec.pages_per_wordline):
+        batch = cols.read_page_batch(page, rows=rows)
+        for j, r in enumerate(rows):
+            serial = ref.wordline_view(r).read_page(page)
+            assert int(batch.n_errors[j]) == serial.n_errors
+            assert np.array_equal(batch.mismatch[j], serial.mismatch)
+            assert float(batch.rber[j]) == serial.rber
+    readouts = cols.sentinel_readout_batch(-6.0, rows=rows)
+    for j, r in enumerate(rows):
+        assert readouts[j] == ref.wordline_view(r).sentinel_readout(-6.0)
+
+
+@given(kind=kinds, stress=stresses, rows=row_subsets)
+@settings(max_examples=10, deadline=None)
+def test_batched_single_voltage_bit_identical(kind, stress, rows):
+    spec = SPECS[kind]
+    cols = _chip(kind, stress).block_columns(0, range(4))
+    ref = _chip(kind, stress).block_columns(0, range(4))
+    pos = spec.read_voltage(spec.sentinel_voltage, -4)
+    counts = cols.single_voltage_counts(pos, rows=rows)
+    for j, r in enumerate(rows):
+        assert int(counts[j]) == int(
+            ref.wordline_view(r).single_voltage_read(pos).sum()
+        )
+
+
+@given(
+    kind=kinds,
+    n_rows=st.integers(min_value=1, max_value=5),
+    width=st.integers(min_value=1, max_value=3000),
+    rate=st.floats(min_value=0.0, max_value=0.02),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_decode_ok_batch_matches_per_row(kind, n_rows, width, rate, seed):
+    """Batched ECC verdicts agree with decode_ok for any mask shape."""
+    ecc = CapabilityEcc.for_spec(SPECS[kind])
+    rng = np.random.default_rng(seed)
+    mismatch = rng.random((n_rows, width)) < rate
+    batched = ecc.decode_ok_batch(mismatch)
+    for i in range(n_rows):
+        assert bool(batched[i]) == ecc.decode_ok(mismatch[i])
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: batched=True vs batched=False byte equality
+# ---------------------------------------------------------------------------
+def _aged(spec):
+    chip = FlashChip(spec, seed=11, sentinel_ratio=0.002)
+    chip.set_block_stress(0, StressState(pe_cycles=3000, retention_hours=4000.0))
+    return chip
+
+
+def test_measure_batched_equals_serial_lockstep(tiny_tlc):
+    """CurrentFlashPolicy takes the lockstep kernel path; samples match."""
+    from repro.retry.current_flash import CurrentFlashPolicy
+    from repro.ssd.retry_model import RetryProfile
+
+    ecc = CapabilityEcc.for_spec(tiny_tlc)
+
+    def run(batched):
+        return RetryProfile.measure(
+            _aged(tiny_tlc),
+            CurrentFlashPolicy(ecc, tiny_tlc),
+            batched=batched,
+        )
+
+    a, b = run(True), run(False)
+    assert a.samples.keys() == b.samples.keys()
+    for p in a.samples:
+        assert np.array_equal(a.samples[p], b.samples[p])
+    assert a.page_voltages == b.page_voltages
+
+
+def test_measure_batched_equals_serial_sentinel_policy(tiny_tlc):
+    """SentinelController (no read_batch override) goes through views."""
+    from repro.core.controller import SentinelController
+    from repro.core.fitting import PolynomialFit
+    from repro.core.models import CorrelationTable, SentinelModel
+    from repro.ssd.retry_model import RetryProfile
+
+    nv = tiny_tlc.n_voltages
+    model = SentinelModel(
+        spec_name=tiny_tlc.name,
+        sentinel_voltage=tiny_tlc.sentinel_voltage,
+        n_voltages=nv,
+        difference_poly=PolynomialFit(
+            coeffs=np.array([500.0, -2.0]), x_min=-0.1, x_max=0.1
+        ),
+        correlations=[
+            CorrelationTable(
+                -273.0, 1000.0, np.linspace(1.4, 0.4, nv), np.zeros(nv)
+            )
+        ],
+    )
+    ecc = CapabilityEcc.for_spec(tiny_tlc)
+
+    def run(batched):
+        return RetryProfile.measure(
+            _aged(tiny_tlc),
+            SentinelController(ecc, model),
+            batched=batched,
+        )
+
+    a, b = run(True), run(False)
+    assert a.samples.keys() == b.samples.keys()
+    for p in a.samples:
+        assert np.array_equal(a.samples[p], b.samples[p])
+
+
+def test_characterize_batched_equals_serial(tiny_tlc):
+    from repro.core.characterization import characterize_chip
+
+    def run(batched):
+        return characterize_chip(
+            FlashChip(tiny_tlc, seed=11, sentinel_ratio=0.002),
+            blocks=(0, 1),
+            batched=batched,
+        )
+
+    a, b = run(True), run(False)
+    assert np.array_equal(a.d_rates, b.d_rates)
+    assert np.array_equal(a.optima, b.optima)
+    assert np.array_equal(
+        a.model.difference_poly.coeffs, b.model.difference_poly.coeffs
+    )
+
+
+def test_sweep_batched_equals_serial(tiny_tlc):
+    from repro.flash.sweep import sweep_block_offsets
+
+    o1, r1 = sweep_block_offsets(_aged(tiny_tlc), 0, batched=True)
+    o2, r2 = sweep_block_offsets(_aged(tiny_tlc), 0, batched=False)
+    assert np.array_equal(o1, o2)
+    assert r1 == r2
