@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke fleet-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke fleet-smoke tournament-smoke clean
 
 install:
 	pip install -e .[test]
@@ -55,6 +55,10 @@ obs-smoke:
 fleet-smoke:
 	$(PYTHON) -m repro fleet --smoke --seed 1 --workers 2 \
 		--json .fleet-smoke.json
+
+tournament-smoke:
+	$(PYTHON) -m repro tournament --smoke --check --workers 2 \
+		--json .tournament-smoke.json
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

@@ -518,6 +518,76 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_tournament(args: argparse.Namespace) -> int:
+    """Race read-retry policies across a (frontend x chip-age) grid.
+
+    Deterministic end to end: cells shard over the fan-out engine and
+    merge in canonical (policy, age, frontend) order, so the report JSON
+    is byte-identical for any ``--workers`` count.  Exits non-zero when
+    any cell breaks served + degraded + shed == offered, or (with
+    ``--check``) when the sentinel policy fails to beat current-flash on
+    retries/read in any cell.
+    """
+    from repro.tournament import (
+        POLICY_ALIASES,
+        TournamentConfig,
+        run_tournament,
+    )
+
+    for name in args.policies:
+        if name not in POLICY_ALIASES:
+            print(f"repro tournament: unknown policy {name!r}; one of "
+                  f"{', '.join(sorted(POLICY_ALIASES))}", file=sys.stderr)
+            return 2
+    _maybe_enable_obs(args)
+    cells = args.cells
+    requests = args.requests
+    step = args.wordline_step
+    if args.smoke:
+        # CI-sized grid: a smoke sentinel model fits in under a second
+        # and every cell stays in the hundreds of reads
+        cells = min(cells, 8192)
+        requests = min(requests, 240)
+        step = max(step, 8)
+    config = TournamentConfig(
+        kind=args.kind,
+        policies=tuple(args.policies),
+        ages=tuple(args.ages),
+        frontends=tuple(args.frontends),
+        cells_per_wordline=cells,
+        sentinel_ratio=args.ratio,
+        wordline_step=step,
+        requests_per_cell=requests,
+        workers=args.workers,
+    )
+    report = run_tournament(config, seed=args.seed)
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro tournament: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"tournament report -> {args.json}")
+    status = _export_obs(args)
+    if not report.balanced:
+        broken = [
+            f"{c['policy']}/{c['age']}/{c['frontend']}"
+            for c in report.cells if not c.get("balanced")
+        ]
+        print(f"repro tournament: FAIL: request accounting imbalanced in "
+              f"{len(broken)} cells: " + ", ".join(broken), file=sys.stderr)
+        return 1
+    if args.check and not report.sentinel_beats():
+        print("repro tournament: FAIL: sentinel did not beat current-flash "
+              "on retries/read in every cell", file=sys.stderr)
+        return 1
+    return status
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     import json
 
@@ -1113,6 +1183,42 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers(p)
     add_obs(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "tournament",
+        help="race read-retry policies across a frontend x chip-age grid",
+    )
+    p.add_argument("--kind", choices=["tlc", "qlc"], default="tlc")
+    p.add_argument("--cells", type=int, default=8192,
+                   help="cells per simulated wordline")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policies", nargs="*",
+                   default=["current-flash", "sentinel", "tracked-sentinel",
+                            "adaptive", "online-model", "oracle"],
+                   help="policies to race (aliases: tracked-sentinel, "
+                        "adaptive, oracle)")
+    p.add_argument("--ages", nargs="*", default=["mid", "old"],
+                   choices=["mid", "old"],
+                   help="chip-age presets (P/E + retention per kind)")
+    p.add_argument("--frontends", nargs="*", default=["hm_0"],
+                   help="synthetic MSR workloads replayed per cell")
+    p.add_argument("--requests", type=int, default=240,
+                   help="replayed requests per grid cell")
+    p.add_argument("--ratio", type=float, default=0.02,
+                   help="sentinel cell ratio of the raced chips")
+    p.add_argument("--wordline-step", type=int, default=8,
+                   help="measure every Nth wordline of the aged block")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized grid: at most 8192 cells/wordline x 240 "
+                        "requests/cell")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero unless sentinel beats current-flash "
+                        "on retries/read in every cell")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON tournament report here")
+    add_workers(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_tournament)
 
     p = sub.add_parser(
         "chaos",

@@ -24,7 +24,10 @@ into the three views the paper's evaluation keeps coming back to:
   kernel name from ``batch_sense`` events (see :mod:`repro.flash.block`);
 * the **fleet** — tenant-to-device dispatch routes, warm-started devices
   and the last fleet-wide per-tenant SLO rollup from ``fleet_dispatch``/
-  ``cache_warm_start``/``tenant_slo`` events (see :mod:`repro.fleet`).
+  ``cache_warm_start``/``tenant_slo`` events (see :mod:`repro.fleet`);
+* the **policy tournament** — per-policy mean retries/read and replayed
+  p99 over the grid cells of ``tournament_cell`` events (see
+  :mod:`repro.tournament`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -74,6 +77,7 @@ SUMMARIZED_KINDS = frozenset(
         "fleet_dispatch",
         "tenant_slo",
         "cache_warm_start",
+        "tournament_cell",
         "trace_meta",
     }
 )
@@ -164,6 +168,10 @@ class TraceStats:
     fleet_warm_entries: int = 0  # cache entries imported fleet-wide
     #: tenant -> the last fleet-wide ``tenant_slo`` rollup seen
     tenant_slo_last: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # policy tournament (repro.tournament)
+    #: policy -> [cells, sum retries/read, sum p99 us]
+    tournament_by_policy: Dict[str, List[float]] = field(default_factory=dict)
+    tournament_imbalanced: int = 0
     # export trailer (``trace_meta``)
     trace_dropped: int = 0
     trace_capacity: int = 0
@@ -378,6 +386,14 @@ def fold(stats: TraceStats, event: TraceEvent) -> None:
             for key in ("offered", "served", "degraded", "shed",
                         "read_p99_us")
         }
+    elif event.kind == "tournament_cell":
+        policy = str(f.get("policy", "unknown"))
+        entry = stats.tournament_by_policy.setdefault(policy, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(f.get("retries_per_read", 0.0))
+        entry[2] += float(f.get("p99_us", 0.0))
+        if not f.get("balanced", True):
+            stats.tournament_imbalanced += 1
     elif event.kind not in EVENT_KINDS:
         stats.unknown_kinds[event.kind] = (
             stats.unknown_kinds.get(event.kind, 0) + 1
@@ -626,6 +642,32 @@ def render(stats: TraceStats, width: int = 48) -> str:
                 f"{t.get('shed', 0.0):.0f} shed = "
                 f"{t.get('offered', 0.0):.0f} offered "
                 f"(read p99 {t.get('read_p99_us', 0.0):.0f} us)"
+            )
+        sections.append("\n".join(lines))
+
+    if stats.tournament_by_policy:
+        rows = []
+        for policy in sorted(stats.tournament_by_policy):
+            cells, retries, p99 = stats.tournament_by_policy[policy]
+            cells = int(cells)
+            rows.append((
+                policy,
+                cells,
+                f"{retries / cells:.3f}" if cells else "0.000",
+                f"{p99 / cells:.0f}" if cells else "0",
+            ))
+        lines = [
+            format_table(
+                rows,
+                headers=["policy", "cells", "mean retries/read",
+                         "mean p99 us"],
+                title="policy tournament",
+            )
+        ]
+        if stats.tournament_imbalanced:
+            lines.append(
+                f"  WARNING: {stats.tournament_imbalanced} cells broke "
+                f"served + degraded + shed == offered"
             )
         sections.append("\n".join(lines))
 

@@ -82,6 +82,10 @@ kind                  fields
 ``cache_warm_start``  ``device, cohort, imported, source`` — a device
                       seeded its voltage-offset cache from its cohort's
                       exported state (``source`` is the donor device)
+``tournament_cell``   ``policy, age, frontend, retries_per_read, p99_us,
+                      iops, balanced`` — one grid cell of a policy
+                      tournament, emitted parent-side after the
+                      canonical-order merge (:mod:`repro.tournament`)
 ``trace_meta``        ``dropped, capacity, events`` — trailer line
                       appended by ``export_jsonl`` so a truncated trace is
                       never misread as a complete run
@@ -133,6 +137,8 @@ EVENT_KINDS = frozenset(
         "fleet_dispatch",
         "tenant_slo",
         "cache_warm_start",
+        # policy tournament (repro.tournament)
+        "tournament_cell",
         # export trailer written by ``export_jsonl``
         "trace_meta",
     }

@@ -13,6 +13,12 @@ them freely:
   (MICRO'19): one tracked optimum per layer.
 * :class:`repro.retry.oracle.OraclePolicy` — reads at the true per-wordline
   optimum ("OPT").
+* :class:`repro.retry.adaptive.AdaptiveRetryPolicy` — Park et al. (arXiv
+  2104.09611): learned per-(block, layer) ladder starts plus pipelined
+  speculative retry sensing.
+* :class:`repro.retry.online_model.OnlineModelPolicy` — Luo et al. (arXiv
+  1807.05140): retention-model prediction before the first sense with
+  online per-chunk process-variation corrections.
 
 The sentinel controller itself lives in :mod:`repro.core.controller`.
 """
@@ -23,6 +29,8 @@ from repro.retry.tracking import TrackingPolicy
 from repro.retry.layer_similarity import LayerSimilarityPolicy
 from repro.retry.oracle import OraclePolicy
 from repro.retry.tracked_sentinel import TrackedSentinelPolicy
+from repro.retry.adaptive import AdaptiveRetryPolicy
+from repro.retry.online_model import OnlineModelPolicy
 
 __all__ = [
     "ReadPolicy",
@@ -34,4 +42,6 @@ __all__ = [
     "LayerSimilarityPolicy",
     "OraclePolicy",
     "TrackedSentinelPolicy",
+    "AdaptiveRetryPolicy",
+    "OnlineModelPolicy",
 ]

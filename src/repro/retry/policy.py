@@ -49,6 +49,11 @@ class ReadOutcome:
     extra_single_reads: int = 0
     calibration_steps: int = 0
     soft_decoded: Optional[str] = None
+    #: retry rounds whose array sensing was issued speculatively during the
+    #: previous round's transfer + ECC (Park et al., arXiv 2104.09611): the
+    #: timing model overlaps those senses with the channel instead of
+    #: serializing them.  0 for non-pipelined policies.
+    pipelined_senses: int = 0
     attempts: List[ReadAttempt] = field(default_factory=list)
 
     @property

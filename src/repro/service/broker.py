@@ -665,7 +665,9 @@ class FlashReadService:
             # the cold read's sentinel flow inferred the offset; remember it
             self.cache.put(key, 0.0, self.queue.now, self._pe_of(key))
         n_voltages = profile.page_voltages[ptype]
-        duration = self.timing.read_us(n_voltages, retries, extra)
+        duration = self.timing.read_us(
+            n_voltages, retries, extra, pipelined=profile.pipelined
+        )
         if self._op_phase_log is not None:
             self._log_read_phases(op, ptype, n_voltages, retries, extra,
                                   hit, duration)
@@ -786,7 +788,9 @@ class FlashReadService:
             if cfg.cache_enabled and not hit:
                 self.cache.put(key, 0.0, now, self._pe_of(key))
             n_voltages = profile.page_voltages[ptype]
-            duration = self.timing.read_us(n_voltages, retries, extra)
+            duration = self.timing.read_us(
+                n_voltages, retries, extra, pipelined=profile.pipelined
+            )
             duration += inj.die_stall_us(op.die, now)
             duration *= inj.congestion_factor(now)
 

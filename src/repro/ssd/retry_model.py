@@ -194,6 +194,10 @@ class RetryProfile:
     policy_name: str
     page_voltages: Dict[int, int]  # page type -> voltages per full read
     samples: Dict[int, np.ndarray]  # page type -> (n, 2) [retries, extra]
+    #: the measured policy pipelines speculative retry sensing (Park et
+    #: al.); replayed reads price retries with the sense/transfer overlap
+    #: shaved (see :meth:`NandTiming.read_us`)
+    pipelined: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -293,6 +297,7 @@ class RetryProfile:
             samples={
                 p: np.asarray(v, dtype=np.int64) for p, v in collected.items()
             },
+            pipelined=bool(getattr(policy, "pipelined", False)),
         )
 
     @classmethod
@@ -325,6 +330,9 @@ class RetryProfile:
         count = 0
         for p, rows in self.samples.items():
             for retries, extra in rows:
-                total += timing.read_us(self.page_voltages[p], retries, extra)
+                total += timing.read_us(
+                    self.page_voltages[p], retries, extra,
+                    pipelined=self.pipelined,
+                )
                 count += 1
         return total / count if count else 0.0

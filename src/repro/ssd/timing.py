@@ -34,21 +34,43 @@ class NandTiming:
         return self.t_sense_base_us + n_voltages * self.t_sense_per_voltage_us
 
     def read_us(self, page_voltages: int, retries: int = 0,
-                extra_single_reads: int = 0) -> float:
+                extra_single_reads: int = 0, pipelined: bool = False) -> float:
         """Total on-die time of a complete page-read operation.
 
         Every full read (the initial attempt plus each retry) senses
         ``page_voltages`` levels and transfers the page for ECC; every
         auxiliary read senses one level and also transfers (the controller
         compares readouts host-side).
+
+        ``pipelined`` models Park et al.'s pipelined read-retry (arXiv
+        2104.09611): each retry's array sensing is issued speculatively
+        while the previous attempt's data is still on the channel, so a
+        retry round costs ``max(sense, transfer)`` instead of their sum —
+        the overlap (``min(sense, transfer)``) is shaved off every retry.
         """
         full_reads = 1 + retries
         full = full_reads * (self.sense_us(page_voltages) + self.t_transfer_us)
+        if pipelined and retries > 0:
+            full -= retries * self.pipeline_overlap_us(page_voltages)
         extra = extra_single_reads * (self.sense_us(1) + self.t_transfer_us)
         return full + extra
 
+    def pipeline_overlap_us(self, page_voltages: int) -> float:
+        """Latency hidden per pipelined retry round (sense/transfer overlap)."""
+        return min(self.sense_us(page_voltages), self.t_transfer_us)
+
     def read_outcome_us(self, outcome: ReadOutcome) -> float:
-        """Price a chip-level :class:`ReadOutcome`."""
-        return self.read_us(
+        """Price a chip-level :class:`ReadOutcome`.
+
+        ``outcome.pipelined_senses`` retry rounds had their sensing issued
+        speculatively during the previous round's transfer + ECC; the
+        overlap is subtracted like the ``pipelined`` flag of
+        :meth:`read_us` does, but per-outcome.
+        """
+        base = self.read_us(
             outcome.page_voltages, outcome.retries, outcome.extra_single_reads
         )
+        overlapped = min(outcome.pipelined_senses, outcome.retries)
+        if overlapped > 0:
+            base -= overlapped * self.pipeline_overlap_us(outcome.page_voltages)
+        return base

@@ -1,0 +1,45 @@
+"""Policy tournament: race every read-retry rival under one harness.
+
+Entry points: :func:`run_tournament` (library), ``python -m repro
+tournament`` (CLI), ``make tournament-smoke`` (CI floor).  The committed
+``benchmarks/BENCH_policies.json`` is one :class:`TournamentReport`
+serialized by :meth:`TournamentReport.to_json`.
+"""
+
+from repro.tournament.report import (
+    TournamentReport,
+    profile_digest,
+    replay_digest,
+)
+from repro.tournament.runner import (
+    AGE_NAMES,
+    AGE_STRESSES,
+    POLICY_ALIASES,
+    POLICY_NAMES,
+    TournamentConfig,
+    build_policy,
+    cell_spec,
+    cell_stress,
+    measure_cell_profile,
+    replay_cell_frontend,
+    run_tournament,
+    tournament_model,
+)
+
+__all__ = [
+    "AGE_NAMES",
+    "AGE_STRESSES",
+    "POLICY_ALIASES",
+    "POLICY_NAMES",
+    "TournamentConfig",
+    "TournamentReport",
+    "build_policy",
+    "cell_spec",
+    "cell_stress",
+    "measure_cell_profile",
+    "profile_digest",
+    "replay_cell_frontend",
+    "replay_digest",
+    "run_tournament",
+    "tournament_model",
+]

@@ -1,0 +1,134 @@
+"""The tournament report: one policy race, every cell's scorecard.
+
+Deterministic and **worker-count-free**, like the fleet and replay
+reports: every field derives from the virtual-time simulation and the
+grid definition, cells merge in canonical (policy, age, frontend) order,
+and ``to_json()`` sorts keys — so the JSON is byte-identical across
+``--workers 1/2/4``.  Each cell embeds SHA-256 digests of the exact
+bytes its standalone equivalents produce (the measured
+:class:`RetryProfile` samples and the :class:`ReplayReport` JSON), which
+is what the golden differential tests compare: the harness must add
+zero perturbation on top of ``RetryProfile.measure`` + the broker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import format_table
+
+
+def profile_digest(profile) -> str:
+    """SHA-256 over a :class:`RetryProfile`'s exact measured content.
+
+    Canonical byte stream: policy name, pipelined flag, then per page
+    type (ascending) the voltage count and the raw little-endian sample
+    array bytes.  Two profiles digest equal iff their measurements are
+    byte-identical.
+    """
+    h = hashlib.sha256()
+    h.update(profile.policy_name.encode())
+    h.update(b"|pipelined=%d" % int(profile.pipelined))
+    for p in sorted(profile.samples):
+        h.update(b"|page=%d:%d|" % (p, profile.page_voltages[p]))
+        h.update(profile.samples[p].astype("<i8").tobytes())
+    return h.hexdigest()
+
+
+def replay_digest(report) -> str:
+    """SHA-256 of a :class:`ReplayReport`'s exact JSON bytes."""
+    return hashlib.sha256(report.to_json().encode()).hexdigest()
+
+
+@dataclass
+class TournamentReport:
+    """Scorecards of one (policy x chip-age x frontend) race."""
+
+    kind: str
+    seed: int
+    cells_per_wordline: int
+    sentinel_ratio: float
+    requests_per_cell: int
+    wordline_step: int
+    policies: List[str] = field(default_factory=list)
+    ages: List[str] = field(default_factory=list)
+    frontends: List[str] = field(default_factory=list)
+    #: one dict per grid cell, in canonical (policy, age, frontend) order
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def balanced(self) -> bool:
+        """Every cell satisfies served + degraded + shed == offered."""
+        return all(c.get("balanced", False) for c in self.cells)
+
+    def cell(self, policy: str, age: str, frontend: str) -> Optional[Dict[str, Any]]:
+        for c in self.cells:
+            if (
+                c["policy"] == policy
+                and c["age"] == age
+                and c["frontend"] == frontend
+            ):
+                return c
+        return None
+
+    def sentinel_beats(self, baseline: str = "current-flash",
+                       sentinel: str = "sentinel") -> bool:
+        """The --check floor: strictly fewer retries/read than the
+        baseline on **every** (age, frontend) cell both policies ran."""
+        compared = 0
+        for age in self.ages:
+            for frontend in self.frontends:
+                s = self.cell(sentinel, age, frontend)
+                b = self.cell(baseline, age, frontend)
+                if s is None or b is None:
+                    continue
+                compared += 1
+                if not s["retries_per_read"] < b["retries_per_read"]:
+                    return False
+        return compared > 0
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines: List[str] = [
+            (
+                f"tournament report: {self.kind} x {len(self.policies)} "
+                f"policies x {len(self.ages)} ages x "
+                f"{len(self.frontends)} frontends (seed {self.seed}, "
+                f"{self.cells_per_wordline} cells/wordline, "
+                f"{self.requests_per_cell} requests/cell)"
+            )
+        ]
+        rows = []
+        for c in self.cells:
+            vs = c.get("vs_sentinel") or {}
+            delta = vs.get("retries_per_read")
+            rows.append((
+                c["policy"],
+                c["age"],
+                c["frontend"],
+                f"{c['retries_per_read']:.3f}",
+                f"{c['mean_read_us']:.0f}",
+                f"{c['p99_us']:.0f}",
+                f"{c['completed_iops']:.0f}",
+                f"{c['served']}/{c['degraded']}/{c['shed']}",
+                "ok" if c.get("balanced") else "IMBALANCED",
+                "-" if delta is None else f"{delta:+.3f}",
+            ))
+        lines.append(format_table(
+            rows,
+            headers=["policy", "age", "frontend", "retries/read",
+                     "mean us", "p99 us", "iops", "srv/deg/shed",
+                     "acct", "vs sentinel"],
+        ))
+        if not self.balanced:
+            lines.append("ACCOUNTING IMBALANCED: at least one cell broke "
+                         "served + degraded + shed == offered")
+        return "\n".join(lines)

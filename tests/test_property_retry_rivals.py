@@ -1,0 +1,315 @@
+"""Property tests for the rival read-retry policies.
+
+Two guarantees the tournament harness leans on:
+
+* the lockstep ``read_batch`` of :class:`AdaptiveRetryPolicy` and
+  :class:`OnlineModelPolicy` is **bit-identical** to the per-wordline
+  ``read`` path — across TLC/QLC, stress conditions and ragged row
+  subsets (the same contract :mod:`test_property_block` pins for the
+  columnar kernels);
+* the online model **learns**: on a fixed-stress noiseless chip, total
+  retries are monotonically non-increasing sweep over sweep as decode
+  feedback is committed (read noise is zeroed so the property isolates
+  the model's contribution from per-read sampling flutter).
+
+The deterministic unit behavior the policies add — hint handling,
+``commit_feedback`` boundaries, pipelined retry accounting in the timing
+layer — is pinned at the bottom.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.capability import CapabilityEcc
+from repro.flash.chip import FlashChip
+from repro.flash.mechanisms import StressState
+from repro.flash.spec import QLC_SPEC, TLC_SPEC
+from repro.retry import AdaptiveRetryPolicy, OnlineModelPolicy
+from repro.ssd.retry_model import RetryProfile
+from repro.ssd.timing import NandTiming
+
+SPECS = {
+    kind: base.scaled(
+        cells_per_wordline=1024,
+        wordlines_per_layer=1,
+        layers=4,
+        name_suffix="-rival-prop",
+    )
+    for kind, base in (("tlc", TLC_SPEC), ("qlc", QLC_SPEC))
+}
+
+STRESSES = (
+    StressState(),
+    StressState(pe_cycles=1500, retention_hours=1000.0),
+    StressState(pe_cycles=3000, retention_hours=8760.0),
+)
+
+POLICIES = {
+    "adaptive-retry": AdaptiveRetryPolicy,
+    "online-model": OnlineModelPolicy,
+}
+
+
+def _cols(kind, stress, rows=None):
+    chip = FlashChip(SPECS[kind], seed=5, sentinel_ratio=0.002)
+    chip.set_block_stress(0, stress)
+    return chip.block_columns(0, rows if rows is not None else range(4))
+
+
+def _assert_outcomes_identical(serial, batched):
+    assert serial.success == batched.success
+    assert serial.retries == batched.retries
+    assert serial.pipelined_senses == batched.pipelined_senses
+    assert len(serial.attempts) == len(batched.attempts)
+    for a, b in zip(serial.attempts, batched.attempts):
+        assert a.decoded == b.decoded
+        assert a.rber == b.rber
+        if a.offsets is None or b.offsets is None:
+            assert (a.offsets is None or not np.any(a.offsets)) and (
+                b.offsets is None or not np.any(b.offsets)
+            )
+        else:
+            np.testing.assert_array_equal(a.offsets, b.offsets)
+
+
+kinds = st.sampled_from(sorted(SPECS))
+stresses = st.sampled_from(STRESSES)
+policy_names = st.sampled_from(sorted(POLICIES))
+row_subsets = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=4, unique=True
+)
+
+
+@given(kind=kinds, stress=stresses, policy_name=policy_names,
+       rows=row_subsets)
+@settings(max_examples=25, deadline=None)
+def test_lockstep_batch_bit_identical_to_serial(
+    kind, stress, policy_name, rows
+):
+    """read_batch == read, row for row, attempt for attempt."""
+    spec = SPECS[kind]
+    ecc = CapabilityEcc.for_spec(spec)
+    serial_policy = POLICIES[policy_name](ecc, spec)
+    batch_policy = POLICIES[policy_name](ecc, spec)
+    pages = list(range(spec.pages_per_wordline))
+
+    cols_serial = _cols(kind, stress, rows)
+    serial = [
+        [serial_policy.read(wl, p) for p in pages]
+        for wl in cols_serial.iter_views()
+    ]
+    cols_batch = _cols(kind, stress, rows)
+    batched = batch_policy.read_batch(cols_batch, pages)
+
+    assert len(batched) == len(serial)
+    for row_serial, row_batched in zip(serial, batched):
+        for s, b in zip(row_serial, row_batched):
+            _assert_outcomes_identical(s, b)
+
+
+@given(kind=kinds, policy_name=policy_names, rows=row_subsets)
+@settings(max_examples=10, deadline=None)
+def test_lockstep_batch_matches_serial_after_commit(
+    kind, policy_name, rows
+):
+    """The equivalence survives a warm-up + commit_feedback cycle."""
+    spec = SPECS[kind]
+    stress = StressState(pe_cycles=3000, retention_hours=8760.0)
+    ecc = CapabilityEcc.for_spec(spec)
+    pages = list(range(spec.pages_per_wordline))
+
+    policies = []
+    for _ in range(2):
+        policy = POLICIES[policy_name](ecc, spec)
+        policy.read_batch(_cols(kind, stress), pages)
+        policy.commit_feedback()
+        policies.append(policy)
+    serial_policy, batch_policy = policies
+
+    serial = [
+        [serial_policy.read(wl, p) for p in pages]
+        for wl in _cols(kind, stress, rows).iter_views()
+    ]
+    batched = batch_policy.read_batch(_cols(kind, stress, rows), pages)
+    for row_serial, row_batched in zip(serial, batched):
+        for s, b in zip(row_serial, row_batched):
+            _assert_outcomes_identical(s, b)
+
+
+class TestOnlineModelLearns:
+    def test_retries_monotone_non_increasing_without_read_noise(self):
+        """Committed feedback never makes a fixed-stress chip slower.
+
+        Read noise is zeroed (the chip is otherwise untouched) so every
+        sweep sees identical Vth state and the only moving part is the
+        committed per-chunk correction — the property isolates the
+        model's contribution from per-read sampling flutter."""
+        spec = dataclasses.replace(
+            TLC_SPEC.scaled(
+                cells_per_wordline=8192,
+                wordlines_per_layer=1,
+                layers=8,
+                name_suffix="-rival-mono",
+            ),
+            read_noise_sigma=0.0,
+        )
+        chip = FlashChip(spec, seed=7, sentinel_ratio=0.002)
+        # worn past the paper's end-of-life point so the retention prior
+        # alone leaves the per-layer process variation on the table
+        chip.set_block_stress(0, StressState(pe_cycles=6000,
+                                             retention_hours=8760.0))
+        policy = OnlineModelPolicy(CapabilityEcc.for_spec(spec), spec)
+        totals = []
+        for _ in range(4):
+            profile = RetryProfile.measure(chip, policy, workers=1)
+            totals.append(sum(
+                int(rows[:, 0].sum()) for rows in profile.samples.values()
+            ))
+            policy.commit_feedback()
+        assert totals[0] > 0  # the aged block actually needs retries cold
+        assert all(a >= b for a, b in zip(totals, totals[1:])), totals
+        assert totals[-1] < totals[0]  # and the model genuinely improves
+
+
+class TestAdaptiveRetryUnit:
+    @pytest.fixture()
+    def setup(self):
+        spec = SPECS["tlc"]
+        return spec, AdaptiveRetryPolicy(CapabilityEcc.for_spec(spec), spec)
+
+    def test_cold_schedule_walks_vendor_ladder(self, setup):
+        _, policy = setup
+        schedule = policy._schedule(None)
+        assert schedule[0] == -1  # default read first
+        assert schedule[1:] == list(range(len(schedule) - 1))
+
+    def test_predicted_schedule_expands_around_start(self, setup):
+        _, policy = setup
+        schedule = policy._schedule(4)
+        assert schedule[:3] == [4, 5, 3]
+        assert len(set(schedule)) == len(schedule)
+
+    def test_hint_selects_nearest_table_entry(self, setup):
+        spec, policy = setup
+        sv = spec.sentinel_voltage - 1
+        for entry in (0, len(policy.table) - 1):
+            hint = float(policy.table.entries[entry, sv])
+            assert policy._start_from_hint(hint) == entry
+
+    def test_feedback_applies_only_after_commit(self, setup):
+        spec, policy = setup
+        chip = FlashChip(spec, seed=5, sentinel_ratio=0.002)
+        chip.set_block_stress(0, StressState(pe_cycles=3000,
+                                             retention_hours=8760.0))
+        wl = next(iter(chip.iter_wordlines(0, [0])))
+        policy.read(wl, 0)
+        assert policy._pending and not policy._starts
+        policy.commit_feedback()
+        assert not policy._pending
+
+    def test_pipelined_senses_marked(self, setup):
+        spec, policy = setup
+        chip = FlashChip(spec, seed=5, sentinel_ratio=0.002)
+        chip.set_block_stress(0, StressState(pe_cycles=3000,
+                                             retention_hours=8760.0))
+        assert policy.pipelined
+        for wl in chip.iter_wordlines(0, range(4)):
+            for p in range(spec.pages_per_wordline):
+                out = policy.read(wl, p)
+                assert out.pipelined_senses == out.retries
+
+
+class TestOnlineModelUnit:
+    @pytest.fixture()
+    def setup(self):
+        spec = SPECS["tlc"]
+        return spec, OnlineModelPolicy(CapabilityEcc.for_spec(spec), spec)
+
+    def test_prior_tracks_retention_model(self, setup):
+        spec, policy = setup
+        fresh = policy.prior_offsets(StressState())
+        aged = policy.prior_offsets(
+            StressState(pe_cycles=3000, retention_hours=8760.0)
+        )
+        assert fresh.shape == aged.shape == (spec.n_states - 1,)
+        # retention drags Vth down: aged read offsets sit below fresh ones
+        assert aged.sum() < fresh.sum()
+
+    def test_first_probe_is_the_prediction(self, setup):
+        _, policy = setup
+        pred = np.array([-3.0, -5.0] + [0.0] * (len(policy._profile) - 2))
+        np.testing.assert_array_equal(policy._probe(pred, 0), pred)
+
+    def test_probes_alternate_and_expand(self, setup):
+        _, policy = setup
+        pred = np.zeros(len(policy._profile))
+        deeper = policy._probe(pred, 1)
+        shallower = policy._probe(pred, 2)
+        wider = policy._probe(pred, 3)
+        assert deeper.sum() < 0 < shallower.sum()
+        assert abs(wider.sum()) >= abs(deeper.sum())
+
+    def test_hint_reanchors_sentinel_voltage(self, setup):
+        spec, policy = setup
+        stress = StressState(pe_cycles=3000, retention_hours=8760.0)
+        prior = policy.prior_offsets(stress)
+        sv = spec.sentinel_voltage - 1
+        hinted = policy._predict(prior, (0, 0), float(prior[sv]) - 4.0)
+        assert hinted[sv] == pytest.approx(prior[sv] - 4.0, abs=1.0)
+
+    def test_feedback_applies_only_after_commit(self, setup):
+        spec, policy = setup
+        chip = FlashChip(spec, seed=5, sentinel_ratio=0.002)
+        chip.set_block_stress(0, StressState(pe_cycles=3000,
+                                             retention_hours=8760.0))
+        wl = next(iter(chip.iter_wordlines(0, [0])))
+        for p in range(spec.pages_per_wordline):
+            policy.read(wl, p)
+        assert not policy._corrections
+        policy.commit_feedback()
+        assert not policy._pending
+
+
+class TestPipelinedTiming:
+    def test_read_us_overlaps_retry_sensing(self):
+        timing = NandTiming()
+        plain = timing.read_us(3, retries=2)
+        pipelined = timing.read_us(3, retries=2, pipelined=True)
+        assert pipelined == pytest.approx(
+            plain - 2 * timing.pipeline_overlap_us(3)
+        )
+        assert pipelined < plain
+
+    def test_zero_retries_unaffected(self):
+        timing = NandTiming()
+        assert timing.read_us(3, retries=0, pipelined=True) == (
+            timing.read_us(3, retries=0)
+        )
+
+    def test_outcome_accounting_uses_pipelined_senses(self):
+        from repro.retry.policy import ReadAttempt, ReadOutcome
+
+        timing = NandTiming()
+        outcome = ReadOutcome(page=0, page_voltages=3)
+        outcome.attempts = [
+            ReadAttempt(offsets=None, rber=0.01, decoded=False),
+            ReadAttempt(offsets=None, rber=0.001, decoded=True),
+        ]
+        outcome.retries = 1
+        outcome.success = True
+        plain = timing.read_outcome_us(outcome)
+        outcome.pipelined_senses = 1
+        assert timing.read_outcome_us(outcome) == pytest.approx(
+            plain - timing.pipeline_overlap_us(3)
+        )
+
+    def test_profile_carries_pipelined_flag_into_mean(self):
+        timing = NandTiming()
+        samples = {0: np.array([[2, 0]], dtype=np.int64)}
+        plain = RetryProfile("x", {0: 3}, samples)
+        piped = RetryProfile("x", {0: 3}, samples, pipelined=True)
+        assert piped.mean_read_us(timing) < plain.mean_read_us(timing)
