@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke fleet-smoke tournament-smoke clean
+.PHONY: install test coverage lint bench bench-smoke examples figures serve-smoke chaos-smoke replay-smoke obs-smoke fleet-smoke tournament-smoke campaign-smoke clean
 
 install:
 	pip install -e .[test]
@@ -59,6 +59,10 @@ fleet-smoke:
 tournament-smoke:
 	$(PYTHON) -m repro tournament --smoke --check --workers 2 \
 		--json .tournament-smoke.json
+
+campaign-smoke:
+	$(PYTHON) -m repro campaign --smoke --workers 2 \
+		--json .campaign-smoke.json
 
 clean:
 	rm -rf build dist *.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,43 @@
+"""Lifetime scenario campaigns: devices aging **while** they serve.
+
+The tournament (:mod:`repro.tournament`) races policies at frozen age
+presets; a campaign instead walks each device through its whole service
+life — retention hours, P/E cycles and read disturb accumulate in virtual
+time between serving phases, the cold/warm retry profiles are re-measured
+on the drifted flash each phase, and the persistent serving broker's
+voltage cache, scrubber and breakers react to the drift.  Environment
+dynamics (temperature steps repriced through the Arrhenius law,
+power-loss windows that drop the volatile cache) come from the same
+declarative :class:`~repro.faults.plan.FaultPlan` schema as fault
+campaigns, as the inert ``env.*`` kind family read in lifetime hours.
+
+Entry points: :func:`run_campaign` (library), ``python -m repro
+campaign`` (CLI; see ``docs/SCENARIOS.md``).
+"""
+
+from repro.campaign.config import (
+    END_PE,
+    ENVIRONMENT_NAMES,
+    PE_SCHEDULES,
+    CampaignConfig,
+    environment_plan,
+    pe_at,
+    power_loss_count,
+    temperature_segments,
+)
+from repro.campaign.report import CampaignReport
+from repro.campaign.runner import HINTED_POLICIES, run_campaign
+
+__all__ = [
+    "END_PE",
+    "ENVIRONMENT_NAMES",
+    "HINTED_POLICIES",
+    "PE_SCHEDULES",
+    "CampaignConfig",
+    "CampaignReport",
+    "environment_plan",
+    "pe_at",
+    "power_loss_count",
+    "run_campaign",
+    "temperature_segments",
+]

@@ -1,0 +1,346 @@
+"""The lifetime campaign runner: devices aging while they serve.
+
+One **cell** is one device living through the full campaign lifetime
+under a (policy x P/E schedule x environment x workload) grid point.
+Unlike the tournament — whose cells replay one frozen age preset — a
+campaign cell keeps **one persistent serving broker** across every phase,
+so the voltage cache, scrubber, circuit breakers, FTL and GC carry their
+state forward while the flash underneath drifts:
+
+1. advance the device's :class:`StressState` across the phase's slice of
+   lifetime — retention composes piecewise over the environment's
+   ``env.temperature_step`` windows (the Arrhenius-equivalent composition
+   of ``with_retention``), cumulative P/E comes from the named wear
+   schedule, read disturb from the reads the broker actually served;
+2. re-measure the cold/warm retry profiles on the aged evaluation block
+   and swap them into the broker (``service.profiles``);
+3. bump every block's erase baseline (``age_blocks``) so the voltage
+   cache's P/E-drift invalidation sees the wear; drop the cache entirely
+   when an ``env.power_loss`` window elapsed (volatile state);
+4. replay the workload as a fresh open-loop client (``workload#pN``)
+   scheduled after the previous phase's horizon — virtual time never
+   rewinds — and score the phase from the broker's per-client accounting
+   and retry-histogram deltas.
+
+Cells shard over :class:`repro.engine.ParallelMap` and merge in canonical
+(policy, schedule, environment, workload) order; all observability
+(``campaign_phase`` events, ``repro_campaign_*`` metrics) is emitted
+parent-side after the merge, so the :class:`CampaignReport` JSON is
+byte-identical at any ``--workers``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.config import (
+    END_PE,
+    CampaignConfig,
+    environment_plan,
+    pe_at,
+    power_loss_count,
+    temperature_segments,
+)
+from repro.campaign.report import CampaignReport
+from repro.engine import ParallelMap
+from repro.flash.mechanisms import StressState
+from repro.obs import OBS
+from repro.tournament import (
+    POLICY_ALIASES,
+    cell_spec,
+    measure_stress_profile,
+    tournament_model,
+)
+
+#: policies whose serving path benefits from cached sentinel offsets —
+#: their warm profile is measured with the scrubber's hint; every other
+#: policy prices cache hits exactly like misses (warm == cold)
+HINTED_POLICIES = frozenset({"sentinel", "tracking+sentinel"})
+
+
+@dataclass(frozen=True)
+class _CellTask:
+    """Everything a worker needs to run one campaign cell."""
+
+    kind: str
+    policy: str
+    schedule: str
+    environment: str
+    workload: str
+    phases: int
+    lifetime_hours: float
+    requests_per_phase: int
+    cells_per_wordline: int
+    sentinel_ratio: float
+    wordline_step: int
+    scale: float
+    inter_phase_gap_us: float
+    seed: int
+    model: object = field(repr=False)
+
+
+def _phase_requests(task: _CellTask, translated, client: str, start_us: float):
+    from repro.service.workload import ServiceRequest
+
+    return [
+        ServiceRequest(
+            client=client,
+            index=i,
+            is_read=t.is_read,
+            lpn=t.lpn,
+            n_pages=t.n_pages,
+            arrival_us=start_us + t.arrival_us,
+        )
+        for i, t in enumerate(translated)
+    ]
+
+
+def _run_cell(task: _CellTask) -> Dict[str, Any]:
+    """One campaign cell, birth to end of life; returns its scorecard."""
+    from repro.replay.translate import LbaTranslator, translate_trace
+    from repro.service.broker import FlashReadService
+    from repro.service.profiles import COLD, WARM, sentinel_hint_fn
+    from repro.ssd.config import SsdConfig
+    from repro.ssd.timing import NandTiming
+    from repro.traces.synthetic import MSR_WORKLOADS, generate_workload
+
+    canonical = POLICY_ALIASES[task.policy]
+    spec = cell_spec(task.kind, task.cells_per_wordline)
+    ssd_config = SsdConfig.for_spec(
+        spec, channels=2, dies_per_channel=2, blocks_per_die=64
+    )
+    timing = NandTiming()
+    plan = environment_plan(task.environment, task.lifetime_hours)
+    hint_fn = (
+        sentinel_hint_fn(task.model) if canonical in HINTED_POLICIES else None
+    )
+
+    # the workload is translated once; each phase replays the same request
+    # stream as a fresh client offset past the previous phase's horizon
+    trace = generate_workload(
+        MSR_WORKLOADS[task.workload],
+        n_requests=task.requests_per_phase,
+        seed=task.seed,
+    )
+    translator = LbaTranslator(
+        page_bytes=ssd_config.page_user_bytes,
+        max_pages_per_request=8,
+        scale=task.scale,
+    )
+    translated, _stats, _engine = translate_trace(
+        trace, translator, workers=1
+    )
+
+    end_pe = END_PE[task.kind.lower()]
+    stress = StressState()
+    read_count = 0
+    service: Optional[FlashReadService] = None
+    prev_reads = 0
+    prev_retries = 0
+    phase_rows: List[Dict[str, Any]] = []
+
+    for p in range(1, task.phases + 1):
+        h0 = task.lifetime_hours * (p - 1) / task.phases
+        h1 = task.lifetime_hours * p / task.phases
+        # 1. age: piecewise retention over the environment's temperature
+        # windows, then the schedule's cumulative wear and the read
+        # disturb the broker actually generated
+        for hours, temp_c in temperature_segments(plan, h0, h1):
+            stress = stress.with_retention(hours, temperature_c=temp_c)
+        pe = pe_at(task.schedule, p, task.phases, end_pe)
+        stress = replace(stress, pe_cycles=pe, read_count=read_count)
+
+        # 2. re-measure the drifted retry profiles and swap them in
+        cold = measure_stress_profile(
+            task.policy, task.kind, stress, task.cells_per_wordline,
+            task.sentinel_ratio, task.wordline_step, task.model,
+        )
+        warm = cold
+        if hint_fn is not None:
+            warm = measure_stress_profile(
+                task.policy, task.kind, stress, task.cells_per_wordline,
+                task.sentinel_ratio, task.wordline_step, task.model,
+                hint_fn=hint_fn,
+            )
+        if service is None:
+            service = FlashReadService(
+                spec, ssd_config, timing, {COLD: cold, WARM: warm},
+                seed=task.seed,
+            )
+        else:
+            service.profiles = {COLD: cold, WARM: warm}
+
+        # 3. wear + environment events on the persistent broker: the
+        # erase baseline moves (P/E-drift cache invalidation), and an
+        # elapsed power-loss window drops the volatile cache outright
+        service.age_blocks(pe)
+        flushed = 0
+        if power_loss_count(plan, h0, h1):
+            flushed = service.cache.flush()
+
+        # 4. serve this phase as a fresh open-loop client, strictly
+        # after everything already on the virtual clock
+        client = f"{task.workload}#p{p}"
+        start_us = service.queue.now + task.inter_phase_gap_us
+        requests = _phase_requests(task, translated, client, start_us)
+        report = service.run_prepared(
+            {client: requests},
+            scenario=f"campaign:{canonical}:p{p}",
+        )
+
+        summary = report.clients[client]
+        offered = len(requests)
+        completed = int(summary.get("completed", 0))
+        degraded = int(summary.get("degraded", 0))
+        shed = int(summary.get("shed", 0))
+        served = completed - degraded
+        hist_reads = sum(service.retry_histogram.values())
+        hist_retries = sum(
+            k * v for k, v in service.retry_histogram.items()
+        )
+        phase_reads = hist_reads - prev_reads
+        phase_retries = hist_retries - prev_retries
+        prev_reads, prev_retries = hist_reads, hist_retries
+        read_count += phase_reads
+
+        phase_rows.append({
+            "phase": p,
+            "age_hours": h1,
+            "pe_cycles": pe,
+            "retention_hours": stress.retention_hours,
+            "temperature_c": stress.temperature_c,
+            "read_count": read_count,
+            "power_loss_flushed": flushed,
+            # the aging signal: the freshly measured cold profile
+            "retries_per_read": cold.mean_retries(),
+            "warm_retries_per_read": warm.mean_retries(),
+            # the served signal: broker histogram deltas (cache-warmed)
+            "served_reads": phase_reads,
+            "served_retries_per_read": (
+                phase_retries / phase_reads if phase_reads else 0.0
+            ),
+            "offered": offered,
+            "served": served,
+            "degraded": degraded,
+            "shed": shed,
+            "balanced": bool(served + degraded + shed == offered),
+            "p99_us": float(summary.get("read_p99_us", 0.0)),
+        })
+
+    totals = {
+        key: sum(int(row[key]) for row in phase_rows)
+        for key in ("offered", "served", "degraded", "shed")
+    }
+    return {
+        "policy": canonical,
+        "schedule": task.schedule,
+        "environment": task.environment,
+        "workload": task.workload,
+        "kind": task.kind,
+        "end_pe": end_pe,
+        "phases": phase_rows,
+        **totals,
+        "balanced": all(row["balanced"] for row in phase_rows),
+        "final_retries_per_read": phase_rows[-1]["retries_per_read"],
+        "final_p99_us": phase_rows[-1]["p99_us"],
+        "cache": service.cache.stats() if service is not None else {},
+    }
+
+
+def _emit_cell_obs(cell: Dict[str, Any]) -> None:
+    if not OBS.enabled:
+        return
+    labels = {
+        "policy": cell["policy"],
+        "schedule": cell["schedule"],
+        "environment": cell["environment"],
+        "workload": cell["workload"],
+    }
+    for row in cell["phases"]:
+        if OBS.metrics.enabled:
+            OBS.metrics.counter(
+                "repro_campaign_phases_total",
+                help="lifetime campaign phases served",
+                policy=cell["policy"],
+            ).inc()
+            OBS.metrics.gauge(
+                "repro_campaign_retries_per_read",
+                help="cold retries/read measured at one campaign phase",
+                phase=row["phase"], **labels,
+            ).set(row["retries_per_read"])
+            OBS.metrics.gauge(
+                "repro_campaign_p99_us",
+                help="served read p99 latency of one campaign phase",
+                phase=row["phase"], **labels,
+            ).set(row["p99_us"])
+        if OBS.tracer.enabled:
+            OBS.tracer.emit(
+                "campaign_phase",
+                phase=row["phase"],
+                age_hours=float(row["age_hours"]),
+                pe_cycles=int(row["pe_cycles"]),
+                retries_per_read=float(row["retries_per_read"]),
+                p99_us=float(row["p99_us"]),
+                balanced=bool(row["balanced"]),
+                **labels,
+            )
+    if OBS.metrics.enabled:
+        OBS.metrics.counter(
+            "repro_campaign_cells_total",
+            help="lifetime campaign cells completed",
+            policy=cell["policy"],
+        ).inc()
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None, seed: int = 0
+) -> CampaignReport:
+    """Age the configured grid through its lifetime; return the report."""
+    cfg = config or CampaignConfig()
+    kind = cfg.kind.lower()
+    model = tournament_model(kind, cfg.cells_per_wordline, cfg.sentinel_ratio)
+    tasks = [
+        _CellTask(
+            kind=kind,
+            policy=policy,
+            schedule=schedule,
+            environment=environment,
+            workload=workload,
+            phases=cfg.phases,
+            lifetime_hours=cfg.lifetime_hours,
+            requests_per_phase=cfg.requests_per_phase,
+            cells_per_wordline=cfg.cells_per_wordline,
+            sentinel_ratio=cfg.sentinel_ratio,
+            wordline_step=cfg.wordline_step,
+            scale=cfg.scale,
+            inter_phase_gap_us=cfg.inter_phase_gap_us,
+            seed=seed,
+            model=model,
+        )
+        for policy in cfg.policies
+        for schedule in cfg.schedules
+        for environment in cfg.environments
+        for workload in cfg.workloads
+    ]
+    engine = ParallelMap(workers=cfg.workers)
+    cells: List[Dict[str, Any]] = engine.run(
+        _run_cell, tasks, label="campaign"
+    )
+    for cell in cells:
+        _emit_cell_obs(cell)
+    return CampaignReport(
+        kind=kind,
+        seed=seed,
+        lifetime_hours=cfg.lifetime_hours,
+        phase_count=cfg.phases,
+        cells_per_wordline=cfg.cells_per_wordline,
+        sentinel_ratio=cfg.sentinel_ratio,
+        requests_per_phase=cfg.requests_per_phase,
+        wordline_step=cfg.wordline_step,
+        policies=[POLICY_ALIASES[p] for p in cfg.policies],
+        schedules=list(cfg.schedules),
+        environments=list(cfg.environments),
+        workloads=list(cfg.workloads),
+        cells=cells,
+    )

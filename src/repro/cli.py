@@ -383,7 +383,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
     from repro.service import measure_service_profiles, synthetic_profiles
     from repro.ssd.config import SsdConfig
     from repro.ssd.timing import NandTiming
-    from repro.traces.msr import load_msr_trace
+    from repro.traces.adapters import load_trace
     from repro.traces.synthetic import MSR_WORKLOADS, generate_workload
 
     if bool(args.trace) == bool(args.synthetic):
@@ -396,13 +396,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
         max_requests = min(max_requests or 300, 300)
     if args.trace:
         try:
-            trace = load_msr_trace(args.trace, max_requests=max_requests)
+            trace = load_trace(
+                args.trace, fmt=args.format, max_requests=max_requests
+            )
         except OSError as exc:
             print(f"repro replay: cannot read trace {args.trace}: "
                   f"{exc.strerror or exc}", file=sys.stderr)
             return 1
         except ValueError as exc:
-            print(f"repro replay: {args.trace} is not an MSR CSV: {exc}",
+            print(f"repro replay: cannot parse {args.trace}: {exc}",
                   file=sys.stderr)
             return 1
     else:
@@ -584,6 +586,75 @@ def cmd_tournament(args: argparse.Namespace) -> int:
     if args.check and not report.sentinel_beats():
         print("repro tournament: FAIL: sentinel did not beat current-flash "
               "on retries/read in every cell", file=sys.stderr)
+        return 1
+    return status
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Age a device grid through its service life, serving each phase.
+
+    Deterministic end to end: cells shard over the fan-out engine and
+    merge in canonical (policy, schedule, environment, workload) order,
+    so the report JSON is byte-identical for any ``--workers`` count.
+    Exits non-zero when any phase breaks served + degraded + shed ==
+    offered.
+    """
+    import json
+
+    from repro.campaign import CampaignConfig, run_campaign
+
+    _maybe_enable_obs(args)
+    grid = {}
+    if args.grid:
+        try:
+            with open(args.grid, "r", encoding="utf-8") as fh:
+                grid = json.load(fh)
+        except OSError as exc:
+            print(f"repro campaign: cannot read grid {args.grid}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"repro campaign: {args.grid} is not JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+    if args.phases is not None:
+        grid["phases"] = args.phases
+    grid.setdefault("workers", args.workers)
+    if args.smoke:
+        # CI-sized lifetime: the default 2-policy cell pair ages through
+        # four phases in seconds at tournament-smoke chip scale
+        grid["cells_per_wordline"] = min(
+            int(grid.get("cells_per_wordline", 8192)), 8192)
+        grid["requests_per_phase"] = min(
+            int(grid.get("requests_per_phase", 120)), 120)
+        grid["phases"] = min(int(grid.get("phases", 4)), 4)
+        grid["wordline_step"] = max(int(grid.get("wordline_step", 8)), 8)
+    try:
+        config = CampaignConfig.from_dict(grid)
+    except (TypeError, ValueError) as exc:
+        print(f"repro campaign: bad grid: {exc}", file=sys.stderr)
+        return 2
+    report = run_campaign(config, seed=args.seed)
+    echo(report.render())
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(report.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            print(f"repro campaign: cannot write report to {args.json}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 1
+        echo(f"campaign report -> {args.json}")
+    status = _export_obs(args)
+    if not report.balanced:
+        broken = [
+            f"{c['policy']}/{c['schedule']}/{c['environment']}"
+            f"/{c['workload']}"
+            for c in report.cells if not c.get("balanced")
+        ]
+        print(f"repro campaign: FAIL: request accounting imbalanced in "
+              f"{len(broken)} cells: " + ", ".join(broken), file=sys.stderr)
         return 1
     return status
 
@@ -1126,7 +1197,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(p)
     p.add_argument("--trace", metavar="PATH",
-                   help="MSR-Cambridge CSV trace to replay")
+                   help="block trace to replay (MSR CSV, blkparse text, "
+                        "or any registered adapter format)")
+    p.add_argument("--format", metavar="NAME", default=None,
+                   help="trace format adapter (default: sniff the file; "
+                        "see repro.traces.adapters)")
     p.add_argument("--synthetic", choices=_REPLAY_WORKLOADS,
                    help="generate and replay a synthetic MSR stand-in")
     p.add_argument("--scale", type=float, default=1.0,
@@ -1219,6 +1294,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers(p)
     add_obs(p)
     p.set_defaults(func=cmd_tournament)
+
+    p = sub.add_parser(
+        "campaign",
+        help="lifetime scenario campaign: devices aging while they serve",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--grid", metavar="PATH",
+                   help="campaign grid JSON (CampaignConfig fields; "
+                        "CLI flags override it)")
+    p.add_argument("--phases", type=int, default=None,
+                   help="aging phases per cell (each ends with one "
+                        "serving window)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized campaign: at most 8192 cells/wordline x "
+                        "4 phases x 120 requests/phase")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the canonical JSON campaign report here")
+    add_workers(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "chaos",

@@ -33,11 +33,24 @@ kind                        effect (magnitude meaning)
 ``service.scrub_starve``    scrubber passes are suppressed (magnitude unused)
 ``service.overload_burst``  admission limit collapses to a fraction of its
                             configured value (magnitude = fraction in (0,1])
+``env.temperature_step``    ambient temperature steps to a new value for the
+                            window (magnitude = temperature in Celsius)
+``env.power_loss``          the device loses power inside the window:
+                            volatile state — the voltage-offset cache — is
+                            gone at the next serving phase (magnitude unused)
 ==========================  =================================================
 
 Schedule windows (``start_us``/``end_us``) apply to the kinds that see a
 virtual clock — the SSD and service layers.  Chip-level kinds (``flash.*``,
 ``ecc.*``) are clockless; their specs ignore the window.
+
+The ``env.*`` family is **environment dynamics**, not injected faults: the
+:class:`~repro.faults.injector.FaultInjector` never draws on them (no hook
+site queries the family), so they are inert in chaos runs.  The lifetime
+campaign runner (:mod:`repro.campaign`) interprets them instead, on the
+**device-lifetime clock**: their ``start_us``/``end_us`` window is read in
+*hours* of device life, keeping the plan schema (and its JSON round-trip)
+unchanged while the same declarative form drives months-long scenarios.
 """
 
 from __future__ import annotations
@@ -59,6 +72,8 @@ FAULT_KINDS = frozenset(
         "service.cache_stale",
         "service.scrub_starve",
         "service.overload_burst",
+        "env.temperature_step",
+        "env.power_loss",
     }
 )
 
@@ -74,6 +89,8 @@ DEFAULT_MAGNITUDE: Dict[str, float] = {
     "service.cache_stale": 0.0,
     "service.scrub_starve": 0.0,
     "service.overload_burst": 0.1,
+    "env.temperature_step": 25.0,
+    "env.power_loss": 0.0,
 }
 
 

@@ -36,6 +36,9 @@ BOLTZMANN_EV = 8.617333262e-5  # eV / K
 _CELSIUS_OFFSET = 273.15
 ROOM_TEMP_C = 25.0
 HOURS_PER_YEAR = 8760.0
+#: Conventional activation energy of charge de-trapping; both shipped
+#: specs carry this value in ``reliability.ea_ev``.
+DEFAULT_EA_EV = 1.1
 
 
 @dataclass(frozen=True)
@@ -68,12 +71,44 @@ class StressState:
             raise ValueError("read_count must be non-negative")
 
     def with_retention(
-        self, hours: float, temperature_c: "float | None" = None
+        self,
+        hours: float,
+        temperature_c: "float | None" = None,
+        ea_ev: float = DEFAULT_EA_EV,
     ) -> "StressState":
-        """A copy aged by ``hours`` (optionally at a different temperature)."""
+        """A copy aged by ``hours`` (optionally at a different temperature).
+
+        A :class:`StressState` stores its whole retention history as one
+        ``(retention_hours, temperature_c)`` pair, so stepping to a *new*
+        temperature must not re-price the hours already endured: the prior
+        hours are converted to their Arrhenius-equivalent duration at the
+        new temperature before the new segment is added.  That makes
+        piecewise temperature profiles compose — ``a`` hours at ``T1``
+        followed by ``b`` hours at ``T2`` accumulates the same effective
+        room-temperature exposure regardless of how the segments are
+        split.  ``ea_ev`` is the activation energy used for the
+        conversion; callers with a spec in hand should pass
+        ``spec.reliability.ea_ev`` (the shipped specs use the
+        conventional 1.1 eV, which is also the default here).
+
+        The constant-temperature path (``temperature_c`` omitted or equal
+        to the current temperature) is a plain sum of hours —
+        bit-identical to the historical behaviour.
+        """
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
         temp = self.temperature_c if temperature_c is None else temperature_c
+        prior = self.retention_hours
+        if temp != self.temperature_c and prior > 0.0:
+            # equivalent duration of the prior exposure at the new
+            # temperature: hours * AF(T_old relative to T_new), so that
+            # (prior_equiv + hours) * AF(T_new) == the sum of each
+            # segment's effective room-temperature exposure
+            prior *= arrhenius_factor(
+                self.temperature_c, ea_ev, reference_c=temp
+            )
         return replace(
-            self, retention_hours=self.retention_hours + hours, temperature_c=temp
+            self, retention_hours=prior + hours, temperature_c=temp
         )
 
     def with_pe_cycles(self, cycles: int) -> "StressState":

@@ -27,7 +27,10 @@ into the three views the paper's evaluation keeps coming back to:
   ``cache_warm_start``/``tenant_slo`` events (see :mod:`repro.fleet`);
 * the **policy tournament** — per-policy mean retries/read and replayed
   p99 over the grid cells of ``tournament_cell`` events (see
-  :mod:`repro.tournament`).
+  :mod:`repro.tournament`);
+* the **lifetime campaign** — per-policy mean retries/read and p99 over
+  the served phases of ``campaign_phase`` events, plus the oldest device
+  age reached (see :mod:`repro.campaign`).
 
 Events whose kind is not in :data:`repro.obs.trace.EVENT_KINDS` (a trace
 written by a newer build, say) still count and render — they are listed in
@@ -78,6 +81,7 @@ SUMMARIZED_KINDS = frozenset(
         "tenant_slo",
         "cache_warm_start",
         "tournament_cell",
+        "campaign_phase",
         "trace_meta",
     }
 )
@@ -172,6 +176,12 @@ class TraceStats:
     #: policy -> [cells, sum retries/read, sum p99 us]
     tournament_by_policy: Dict[str, List[float]] = field(default_factory=dict)
     tournament_imbalanced: int = 0
+    # lifetime campaigns (repro.campaign)
+    #: policy -> [phases, sum retries/read, sum p99 us]
+    campaign_by_policy: Dict[str, List[float]] = field(default_factory=dict)
+    campaign_imbalanced: int = 0
+    #: oldest device age seen across ``campaign_phase`` events, in hours
+    campaign_max_age_hours: float = 0.0
     # export trailer (``trace_meta``)
     trace_dropped: int = 0
     trace_capacity: int = 0
@@ -394,6 +404,17 @@ def fold(stats: TraceStats, event: TraceEvent) -> None:
         entry[2] += float(f.get("p99_us", 0.0))
         if not f.get("balanced", True):
             stats.tournament_imbalanced += 1
+    elif event.kind == "campaign_phase":
+        policy = str(f.get("policy", "unknown"))
+        entry = stats.campaign_by_policy.setdefault(policy, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(f.get("retries_per_read", 0.0))
+        entry[2] += float(f.get("p99_us", 0.0))
+        stats.campaign_max_age_hours = max(
+            stats.campaign_max_age_hours, float(f.get("age_hours", 0.0))
+        )
+        if not f.get("balanced", True):
+            stats.campaign_imbalanced += 1
     elif event.kind not in EVENT_KINDS:
         stats.unknown_kinds[event.kind] = (
             stats.unknown_kinds.get(event.kind, 0) + 1
@@ -667,6 +688,33 @@ def render(stats: TraceStats, width: int = 48) -> str:
         if stats.tournament_imbalanced:
             lines.append(
                 f"  WARNING: {stats.tournament_imbalanced} cells broke "
+                f"served + degraded + shed == offered"
+            )
+        sections.append("\n".join(lines))
+
+    if stats.campaign_by_policy:
+        rows = []
+        for policy in sorted(stats.campaign_by_policy):
+            phases, retries, p99 = stats.campaign_by_policy[policy]
+            phases = int(phases)
+            rows.append((
+                policy,
+                phases,
+                f"{retries / phases:.3f}" if phases else "0.000",
+                f"{p99 / phases:.0f}" if phases else "0",
+            ))
+        lines = [
+            format_table(
+                rows,
+                headers=["policy", "phases", "mean retries/read",
+                         "mean p99 us"],
+                title="lifetime campaign",
+            ),
+            f"  oldest device age: {stats.campaign_max_age_hours:.0f} h",
+        ]
+        if stats.campaign_imbalanced:
+            lines.append(
+                f"  WARNING: {stats.campaign_imbalanced} phases broke "
                 f"served + degraded + shed == offered"
             )
         sections.append("\n".join(lines))

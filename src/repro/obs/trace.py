@@ -86,6 +86,11 @@ kind                  fields
                       iops, balanced`` — one grid cell of a policy
                       tournament, emitted parent-side after the
                       canonical-order merge (:mod:`repro.tournament`)
+``campaign_phase``    ``policy, schedule, environment, workload, phase,
+                      age_hours, pe_cycles, retries_per_read, p99_us,
+                      balanced`` — one served phase of a lifetime
+                      campaign cell, emitted parent-side after the
+                      canonical-order merge (:mod:`repro.campaign`)
 ``trace_meta``        ``dropped, capacity, events`` — trailer line
                       appended by ``export_jsonl`` so a truncated trace is
                       never misread as a complete run
@@ -139,6 +144,8 @@ EVENT_KINDS = frozenset(
         "cache_warm_start",
         # policy tournament (repro.tournament)
         "tournament_cell",
+        # lifetime campaigns (repro.campaign)
+        "campaign_phase",
         # export trailer written by ``export_jsonl``
         "trace_meta",
     }

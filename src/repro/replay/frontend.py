@@ -111,7 +111,9 @@ def replay_trace(
     # report horizon (queue.now at drain) is untouched — the final
     # completion always lands at or after the final arrival.
     if requests and OBS.enabled and OBS.tracer.enabled:
-        arrivals = [r.arrival_us for r in requests]
+        # traces preserve completion-log order, so arrivals are not
+        # necessarily monotone — sort locally for the bisect snapshots
+        arrivals = sorted(r.arrival_us for r in requests)
         last_arrival = arrivals[-1]
 
         def snapshot(ts: float) -> None:

@@ -105,6 +105,7 @@ class VoltageOffsetCache:
         self.warm_started = 0  # entries imported via warm_start()
         self.warm_hits = 0  # hits served by imported entries
         self.warm_expired = 0  # imported entries that went stale
+        self.flushed = 0  # entries dropped by power-loss flushes
         #: key -> quarantine expiry (virtual us); blocks lookups and puts
         self._quarantine: Dict[CacheKey, float] = {}
 
@@ -210,6 +211,21 @@ class VoltageOffsetCache:
         """Drop one entry the read path detected stale (no quarantine)."""
         if self._entries.pop(key, None) is not None:
             self.expired += 1
+
+    def flush(self) -> int:
+        """Drop every entry at once; returns how many were dropped.
+
+        The power-loss path of the lifetime campaigns: cached offsets are
+        volatile controller state, so a power cycle loses all of them and
+        the next reads go cold until re-inference refills the cache.
+        Quarantine bookkeeping survives — a corrupted location stays
+        distrusted across the power cycle.  Counted in ``flushed`` (and in
+        :meth:`stats` only once nonzero, so flush-free reports keep their
+        historical bytes)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.flushed += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     def scrub_candidates(
@@ -346,4 +362,6 @@ class VoltageOffsetCache:
             out["warm_started"] = self.warm_started
             out["warm_hits"] = self.warm_hits
             out["warm_expired"] = self.warm_expired
+        if self.flushed:
+            out["flushed"] = self.flushed
         return out

@@ -207,7 +207,12 @@ class Ssd:
         read_lat: List[float] = []
         write_lat: List[float] = []
         host_reads = host_writes = 0
-        requests = trace.requests[: max_requests or len(trace.requests)]
+        # traces keep completion-log order; open-loop replay issues in
+        # arrival order (stable sort keeps equal-time ties in file order)
+        requests = sorted(
+            trace.requests[: max_requests or len(trace.requests)],
+            key=lambda r: r.time_s,
+        )
         for req in requests:
             arrival_us = req.time_s * 1e6
             completion = arrival_us

@@ -21,6 +21,7 @@ from repro.tournament.runner import (
     cell_spec,
     cell_stress,
     measure_cell_profile,
+    measure_stress_profile,
     replay_cell_frontend,
     run_tournament,
     tournament_model,
@@ -37,6 +38,7 @@ __all__ = [
     "cell_spec",
     "cell_stress",
     "measure_cell_profile",
+    "measure_stress_profile",
     "profile_digest",
     "replay_cell_frontend",
     "replay_digest",

@@ -199,26 +199,27 @@ class _CellTask:
     model: object = field(repr=False)
 
 
-def measure_cell_profile(
+def measure_stress_profile(
     task_policy: str,
     kind: str,
-    age: str,
+    stress: StressState,
     cells_per_wordline: int,
     sentinel_ratio: float,
     wordline_step: int,
     model,
+    hint_fn=None,
 ) -> RetryProfile:
-    """Steps 1-3 of a cell: chip, optional warm-up, profile measurement.
+    """Measure one policy's retry profile at an explicit stress point.
 
-    Public and standalone-callable: the golden differential tests invoke
-    it directly to prove the tournament harness adds zero perturbation on
-    top of ``RetryProfile.measure``.
+    The tournament's :func:`measure_cell_profile` delegates here with its
+    named age presets; the lifetime campaign (:mod:`repro.campaign`) calls
+    it directly with the composed aging stress of each phase, optionally
+    with a cache-hint function for the warm (cache-hit) distribution.
     """
     from repro.exp.common import EVAL_SEED
     from repro.flash.block import BlockColumns
 
     spec = cell_spec(kind, cells_per_wordline)
-    stress = cell_stress(kind, age)
     chip = FlashChip(spec, seed=EVAL_SEED, sentinel_ratio=sentinel_ratio)
     chip.set_block_stress(0, stress)
     ecc = CapabilityEcc.for_spec(spec)
@@ -251,7 +252,34 @@ def measure_cell_profile(
         policy,
         wordlines=range(0, spec.wordlines_per_block, step),
         name=POLICY_ALIASES[task_policy],
+        hint_fn=hint_fn,
         workers=1,
+    )
+
+
+def measure_cell_profile(
+    task_policy: str,
+    kind: str,
+    age: str,
+    cells_per_wordline: int,
+    sentinel_ratio: float,
+    wordline_step: int,
+    model,
+) -> RetryProfile:
+    """Steps 1-3 of a cell: chip, optional warm-up, profile measurement.
+
+    Public and standalone-callable: the golden differential tests invoke
+    it directly to prove the tournament harness adds zero perturbation on
+    top of ``RetryProfile.measure``.
+    """
+    return measure_stress_profile(
+        task_policy,
+        kind,
+        cell_stress(kind, age),
+        cells_per_wordline,
+        sentinel_ratio,
+        wordline_step,
+        model,
     )
 
 

@@ -9,6 +9,16 @@ byte-for-byte when the user has them.
 
 from repro.traces.trace import Trace, TraceRequest
 from repro.traces.msr import parse_msr_csv, load_msr_trace
+from repro.traces.adapters import (
+    TraceAdapter,
+    adapter_names,
+    get_adapter,
+    load_blkparse_trace,
+    load_trace,
+    parse_blkparse,
+    register_adapter,
+    sniff_format,
+)
 from repro.traces.synthetic import (
     MSR_WORKLOADS,
     WorkloadParams,
@@ -21,6 +31,14 @@ __all__ = [
     "TraceRequest",
     "parse_msr_csv",
     "load_msr_trace",
+    "TraceAdapter",
+    "adapter_names",
+    "get_adapter",
+    "load_trace",
+    "load_blkparse_trace",
+    "parse_blkparse",
+    "register_adapter",
+    "sniff_format",
     "MSR_WORKLOADS",
     "WorkloadParams",
     "generate_workload",

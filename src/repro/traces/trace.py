@@ -29,11 +29,20 @@ class TraceRequest:
 
 
 class Trace:
-    """An ordered sequence of requests.
+    """A sequence of requests in the order the source logged them.
+
+    The request order is preserved, **not** sorted by ``time_s``: the
+    published MSR volumes log requests in completion order, so slightly
+    out-of-order arrival times are real data the parser deliberately
+    keeps (:mod:`repro.traces.msr`).  Consumers that need arrival order
+    (the replay frontends) sort locally; aggregate statistics here use
+    min/max over ``time_s`` rather than positional first/last.
 
     ``meta`` carries parser-side accounting (e.g. the MSR reader's
     ``clamped_records`` count) that is about how the trace was *obtained*
-    rather than the requests themselves.
+    rather than the requests themselves.  Its scope is the parse that
+    produced the trace: a truncated view (:meth:`head`) carries a copy
+    whose counts still describe the untruncated parse.
     """
 
     def __init__(
@@ -43,9 +52,7 @@ class Trace:
         meta: Optional[Dict[str, int]] = None,
     ) -> None:
         self.name = name
-        self.requests: List[TraceRequest] = sorted(
-            requests, key=lambda r: r.time_s
-        )
+        self.requests: List[TraceRequest] = list(requests)
         self.meta: Dict[str, int] = dict(meta or {})
 
     def __len__(self) -> int:
@@ -57,9 +64,14 @@ class Trace:
     # ------------------------------------------------------------------
     @property
     def duration_s(self) -> float:
+        """Trace span: max minus min arrival time.
+
+        Positional first/last would under-report the span on
+        completion-ordered traces, skewing every rate derived from it."""
         if not self.requests:
             return 0.0
-        return self.requests[-1].time_s - self.requests[0].time_s
+        times = [r.time_s for r in self.requests]
+        return max(times) - min(times)
 
     @property
     def read_fraction(self) -> float:
@@ -76,8 +88,13 @@ class Trace:
         return sum(r.size_bytes for r in self.requests if not r.is_read)
 
     def head(self, n: int) -> "Trace":
-        """The first ``n`` requests as a new trace (meta carries over)."""
-        return Trace(self.name, self.requests[:n], meta=self.meta)
+        """The first ``n`` requests (in logged order) as a new trace.
+
+        ``meta`` is copied, never aliased, so mutation by one consumer
+        cannot leak into the other; its counts keep describing the
+        original untruncated parse (``clamped_records`` of the full
+        file, not of the first ``n`` requests)."""
+        return Trace(self.name, self.requests[:n], meta=dict(self.meta))
 
     def describe(self) -> str:
         return (

@@ -7,11 +7,21 @@ via the cached helpers in :mod:`repro.exp.common`.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.flash.chip import FlashChip
 from repro.flash.mechanisms import StressState
 from repro.flash.spec import QLC_SPEC, TLC_SPEC
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+@pytest.fixture(scope="session")
+def msr_sample_lines():
+    """Raw lines of the out-of-order MSR sample trace fixture."""
+    return (DATA_DIR / "msr_sample.csv").read_text().splitlines()
 
 
 def make_tiny(base, cells=8192, wordlines_per_layer=1, layers=8):

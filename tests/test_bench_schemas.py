@@ -24,7 +24,7 @@ def load(name):
 
 def test_every_committed_bench_json_has_a_schema_check():
     known = {"BENCH_core.json", "BENCH_fleet.json", "BENCH_replay.json",
-             "BENCH_policies.json"}
+             "BENCH_policies.json", "BENCH_campaign.json"}
     committed = {p.name for p in BENCH_DIR.glob("BENCH_*.json")}
     assert committed == known, (
         "benchmarks/BENCH_*.json changed; add/remove the matching schema "
@@ -148,6 +148,84 @@ class TestPoliciesSchema:
                 sentinel_ratio=report["sentinel_ratio"],
                 wordline_step=report["wordline_step"],
                 requests_per_cell=report["requests_per_cell"],
+                workers=1,
+            ),
+            seed=report["seed"],
+        )
+        assert json.loads(live.to_json()) == report
+
+
+class TestCampaignSchema:
+    """The lifetime benchmark: one serialized CampaignReport."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return load("BENCH_campaign.json")
+
+    def test_grid_dimensions(self, report):
+        for key in ("kind", "seed", "lifetime_hours", "phase_count",
+                    "cells_per_wordline", "sentinel_ratio",
+                    "requests_per_phase", "wordline_step", "policies",
+                    "schedules", "environments", "workloads", "cells"):
+            assert key in report
+        assert {"sentinel", "current-flash"} <= set(report["policies"])
+        assert report["phase_count"] >= 3
+        assert len(report["cells"]) == (
+            len(report["policies"]) * len(report["schedules"])
+            * len(report["environments"]) * len(report["workloads"])
+        )
+
+    def test_phases_age_monotonically_and_balance(self, report):
+        required = {
+            "phase", "age_hours", "pe_cycles", "retention_hours",
+            "retries_per_read", "served_retries_per_read", "p99_us",
+            "offered", "served", "degraded", "shed", "balanced",
+        }
+        for cell in report["cells"]:
+            assert cell["balanced"] is True
+            retries = []
+            for row in cell["phases"]:
+                assert required <= set(row), cell["policy"]
+                assert (row["served"] + row["degraded"] + row["shed"]
+                        == row["offered"]), cell["policy"]
+                retries.append(row["retries_per_read"])
+            assert retries == sorted(retries), cell["policy"]
+            assert all(
+                b > a for a, b in zip(retries, retries[1:])
+            ), cell["policy"]
+
+    def test_sentinel_shaves_retries_at_end_of_life(self, report):
+        """The committed benchmark must show the paper's claim carried
+        through a whole service life: the sentinel device ends its life
+        with fewer retries/read and a lower p99 than the vendor ladder."""
+        def cell(policy):
+            for c in report["cells"]:
+                if c["policy"] == policy:
+                    return c
+            return None
+
+        s, b = cell("sentinel"), cell("current-flash")
+        assert s is not None and b is not None
+        assert s["final_retries_per_read"] < b["final_retries_per_read"]
+        assert s["final_p99_us"] < b["final_p99_us"]
+
+    def test_matches_live_smoke_run(self, report):
+        """Byte-for-byte what `repro campaign --smoke` produces today."""
+        from repro.campaign import CampaignConfig, run_campaign
+
+        live = run_campaign(
+            CampaignConfig(
+                kind=report["kind"],
+                policies=tuple(report["policies"]),
+                schedules=tuple(report["schedules"]),
+                environments=tuple(report["environments"]),
+                workloads=tuple(report["workloads"]),
+                phases=report["phase_count"],
+                lifetime_hours=report["lifetime_hours"],
+                requests_per_phase=report["requests_per_phase"],
+                cells_per_wordline=report["cells_per_wordline"],
+                sentinel_ratio=report["sentinel_ratio"],
+                wordline_step=report["wordline_step"],
                 workers=1,
             ),
             seed=report["seed"],

@@ -1,6 +1,7 @@
 """Property-based tests of the error-mechanism physics."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -81,3 +82,87 @@ def test_sigma_monotone_in_wear(spec, pe1, pe2):
     a = state_sigmas(spec, StressState(pe_cycles=lo))
     b = state_sigmas(spec, StressState(pe_cycles=hi))
     assert (b >= a - 1e-12).all()
+
+
+# ---------------------------------------------------------------------------
+# retention composition (StressState.with_retention)
+# ---------------------------------------------------------------------------
+# Sub-step hours are drawn as integer multiples of 1/64 h: dyadic rationals
+# add exactly in binary floating point, so splitting a retention interval
+# into sub-steps must reproduce the single-step StressState *bit-identically*
+# (same frozen dataclass, same seed-tree key, hence bit-identical vth).
+_dyadic_steps = st.lists(
+    st.integers(min_value=0, max_value=64 * 4000), min_size=1, max_size=6
+)
+
+
+@given(spec=specs, steps=_dyadic_steps, temp=temps, pe=pes)
+@settings(max_examples=60, deadline=None)
+def test_constant_temperature_substeps_compose_bit_identically(
+    spec, steps, temp, pe
+):
+    total_hours = sum(steps) / 64.0
+    one = StressState(pe_cycles=pe, temperature_c=temp).with_retention(
+        total_hours
+    )
+    split = StressState(pe_cycles=pe, temperature_c=temp)
+    for part in steps:
+        split = split.with_retention(part / 64.0)
+    assert split == one
+    assert split.key() == one.key()
+    assert retention_scale(split, spec) == retention_scale(one, spec)
+
+
+@given(
+    spec=specs,
+    segs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=20000.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=95.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_piecewise_temperature_profile_conserves_exposure(spec, segs):
+    """Stepping through (hours, temp) segments accumulates the same
+    effective room-temperature exposure as pricing each segment alone:
+    prior hours must not be retroactively re-scaled by later steps."""
+    ea = spec.reliability.ea_ev
+    stress = StressState()
+    for hours, temp in segs:
+        stress = stress.with_retention(hours, temperature_c=temp, ea_ev=ea)
+    composed = stress.retention_hours * arrhenius_factor(
+        stress.temperature_c, ea
+    )
+    expected = sum(h * arrhenius_factor(t, ea) for h, t in segs)
+    assert composed == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+def test_temperature_step_does_not_reprice_prior_hours():
+    """Regression for the with_retention temperature overwrite: 1000 h at
+    25 C followed by 1 h at 80 C must cost ~1000 h + ~800 h of equivalent
+    room exposure — not re-price the first 1000 h at 80 C (~800,000 h)."""
+    ea = 1.1
+    stress = StressState().with_retention(1000.0)
+    stepped = stress.with_retention(1.0, temperature_c=80.0, ea_ev=ea)
+    room_equiv = stepped.retention_hours * arrhenius_factor(80.0, ea)
+    expected = 1000.0 + 1.0 * arrhenius_factor(80.0, ea)
+    assert room_equiv == pytest.approx(expected, rel=1e-9)
+    # the buggy behaviour priced the prior hours at the new temperature
+    assert room_equiv < 1000.0 * arrhenius_factor(80.0, ea) / 2
+
+
+def test_constant_temperature_substeps_give_bit_identical_vth(tiny_tlc):
+    from repro.flash.wordline import Wordline
+
+    base = StressState(pe_cycles=3000, temperature_c=40.0)
+    one = base.with_retention(4000.0 + 1.0 / 64.0)
+    split = base
+    for part in (1000.0, 2500.0, 500.0 + 1.0 / 64.0):
+        split = split.with_retention(part)
+    assert split == one
+    a = Wordline(tiny_tlc, 7, 0, 3, stress=one)
+    b = Wordline(tiny_tlc, 7, 0, 3, stress=split)
+    assert (a.vth == b.vth).all()

@@ -1,8 +1,19 @@
-"""Trace model, MSR parsing, and the synthetic workload generators."""
+"""Trace model, MSR parsing, adapters, and the synthetic generators."""
+
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.traces.adapters import (
+    adapter_names,
+    get_adapter,
+    load_blkparse_trace,
+    load_trace,
+    parse_blkparse,
+    register_adapter,
+    sniff_format,
+)
 from repro.traces.msr import load_msr_trace, parse_msr_csv
 from repro.traces.synthetic import (
     MSR_WORKLOADS,
@@ -11,6 +22,8 @@ from repro.traces.synthetic import (
     generate_workload,
 )
 from repro.traces.trace import Trace, TraceRequest
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
 
 
 class TestTraceRequest:
@@ -28,12 +41,27 @@ class TestTraceRequest:
 
 
 class TestTrace:
-    def test_sorts_by_time(self):
+    def test_preserves_logged_order(self):
+        # completion-ordered logging is real data: the trace must not
+        # re-sort it (consumers that need arrival order sort locally)
         trace = Trace(
             "t",
             [TraceRequest(2.0, "R", 0, 512), TraceRequest(1.0, "W", 0, 512)],
         )
-        assert trace.requests[0].time_s == 1.0
+        assert [r.time_s for r in trace.requests] == [2.0, 1.0]
+
+    def test_duration_uses_min_max_not_first_last(self):
+        # positional first/last under-report the span on out-of-order
+        # traces; duration must span min..max over time_s
+        trace = Trace(
+            "t",
+            [
+                TraceRequest(5.0, "R", 0, 512),
+                TraceRequest(1.0, "R", 0, 512),
+                TraceRequest(3.0, "R", 0, 512),
+            ],
+        )
+        assert trace.duration_s == 4.0
 
     def test_stats(self):
         trace = Trace(
@@ -103,16 +131,39 @@ class TestMsrParsing:
 
     def test_out_of_order_lines_rebase_to_minimum_tick(self):
         # completion-ordered logging: the second line happened 2 ms BEFORE
-        # the first; rebasing to the first tick used to make it negative
+        # the first; rebasing to the first tick used to make it negative.
+        # The logged order is preserved, so the min-tick record is second.
         lines = [
             "128166372003061629,hm,0,Read,0,4096,100",
             "128166372003041629,hm,0,Read,4096,4096,100",
         ]
         trace = parse_msr_csv(lines)
         assert all(r.time_s >= 0 for r in trace)
-        assert trace.requests[0].time_s == 0.0  # the min-tick record
-        assert trace.requests[0].lba_bytes == 4096
-        assert trace.requests[1].time_s == pytest.approx(2e-3)
+        assert trace.requests[0].time_s == pytest.approx(2e-3)
+        assert trace.requests[0].lba_bytes == 0
+        assert trace.requests[1].time_s == 0.0  # the min-tick record
+        assert trace.requests[1].lba_bytes == 4096
+        assert trace.duration_s == pytest.approx(2e-3)
+
+    def test_out_of_order_sample_file_duration(self, msr_sample_lines):
+        # regression for duration_s on the real out-of-order fixture: the
+        # min-tick record is not the first line, so positional first/last
+        # would misreport the span
+        trace = parse_msr_csv(msr_sample_lines)
+        times = [r.time_s for r in trace]
+        assert times != sorted(times)  # the fixture really is out of order
+        assert trace.requests[0].time_s > 0.0
+        assert trace.duration_s == pytest.approx(max(times) - min(times))
+        assert trace.duration_s > trace.requests[-1].time_s - trace.requests[0].time_s - 1e-12
+
+    def test_head_meta_is_isolated(self):
+        lines = ["128166372003061629,hm,0,Read,0,1,100"] * 3
+        trace = parse_msr_csv(lines)
+        head = trace.head(2)
+        head.meta["clamped_records"] = 99
+        assert trace.meta["clamped_records"] == 3
+        trace.meta["extra"] = 1
+        assert "extra" not in head.meta
 
     def test_sub_sector_sizes_clamped_and_counted(self):
         lines = [
@@ -132,6 +183,116 @@ class TestMsrParsing:
     def test_single_request_duration_is_zero(self):
         trace = parse_msr_csv(["128166372003061629,hm,0,Read,0,4096,100"])
         assert trace.duration_s == 0.0
+
+
+class TestAdapters:
+    BLK = [
+        "  8,0    3        1     0.000072500   697  Q   R 223490 + 8 [kjournald]",
+        "  8,0    1        4     0.000051300  1994  Q  WS 740360 + 16 [qemu-kvm]",
+        "  8,0    0        6     0.000200900   697  C   R 223490 + 8 [0]",
+    ]
+
+    def test_registry_lists_both_formats(self):
+        assert {"msr", "blkparse"} <= set(adapter_names())
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            get_adapter("nope")
+
+    def test_custom_adapter_registers_and_resolves(self):
+        def parse(lines, name, max_requests):
+            return Trace(name, [])
+
+        register_adapter("custom-x", parse, sniff=lambda s: False,
+                         description="test-only")
+        try:
+            assert get_adapter("custom-x").parse is parse
+            assert "custom-x" in adapter_names()
+        finally:
+            from repro.traces import adapters as mod
+            del mod._REGISTRY["custom-x"]
+
+    def test_msr_round_trip_via_registry(self, tmp_path, msr_sample_lines):
+        path = tmp_path / "hm_0.csv"
+        path.write_text("\n".join(msr_sample_lines))
+        direct = load_msr_trace(path)
+        for via in (load_trace(path), load_trace(path, fmt="msr")):
+            assert via.name == direct.name
+            assert via.meta == direct.meta
+            assert [
+                (r.time_s, r.op, r.lba_bytes, r.size_bytes) for r in via
+            ] == [
+                (r.time_s, r.op, r.lba_bytes, r.size_bytes) for r in direct
+            ]
+
+    def test_blkparse_round_trip_via_registry(self, tmp_path):
+        fixture = DATA_DIR / "blkparse_sample.txt"
+        direct = load_blkparse_trace(fixture)
+        for via in (load_trace(fixture), load_trace(fixture, fmt="blkparse")):
+            assert via.meta == direct.meta
+            assert [
+                (r.time_s, r.op, r.lba_bytes, r.size_bytes) for r in via
+            ] == [
+                (r.time_s, r.op, r.lba_bytes, r.size_bytes) for r in direct
+            ]
+
+    def test_blkparse_parses_queue_records_only(self):
+        trace = parse_blkparse(self.BLK)
+        # the C (complete) record is skipped; both Q records survive
+        assert len(trace) == 2
+        assert [r.op for r in trace] == ["R", "W"]
+        assert trace.requests[0].lba_bytes == 223490 * 512
+        assert trace.requests[0].size_bytes == 8 * 512
+        assert trace.meta["skipped_records"] == 1
+
+    def test_blkparse_preserves_logged_order_and_rebases(self):
+        trace = parse_blkparse(self.BLK)
+        # the W was queued before the R but logged after (multi-CPU
+        # interleave): order preserved, times rebased to the minimum
+        assert trace.requests[1].time_s == 0.0
+        assert trace.requests[0].time_s == pytest.approx(21.2e-6)
+        assert trace.duration_s == pytest.approx(21.2e-6)
+
+    def test_blkparse_sample_file(self):
+        trace = load_blkparse_trace(DATA_DIR / "blkparse_sample.txt")
+        assert len(trace) == 6
+        assert trace.meta["skipped_records"] == 10
+        assert trace.meta["clamped_records"] == 0
+        assert all(r.size_bytes % 512 == 0 for r in trace)
+        assert min(r.time_s for r in trace) == 0.0
+
+    def test_blkparse_discard_and_flush_skipped(self):
+        lines = [
+            "  8,0  1  9  0.1  19  Q   D 991230 + 2048 [qemu]",
+            "  8,0  1 10  0.2  19  Q  FWS 0 + 0 [qemu]",
+            "  8,0  1 11  0.3  19  Q   W 16 + 8 [qemu]",
+        ]
+        trace = parse_blkparse(lines)
+        assert len(trace) == 1
+        assert trace.meta["skipped_records"] == 2
+
+    def test_blkparse_malformed_numeric_raises(self):
+        with pytest.raises(ValueError, match="malformed blkparse"):
+            parse_blkparse(
+                ["  8,0  1  1  xx  19  Q  R 16 + 8 [p]"]
+            )
+
+    def test_blkparse_max_requests(self):
+        trace = load_blkparse_trace(
+            DATA_DIR / "blkparse_sample.txt", max_requests=3
+        )
+        assert len(trace) == 3
+
+    def test_sniffer_distinguishes_formats(self, msr_sample_lines):
+        assert sniff_format(msr_sample_lines) == "msr"
+        assert sniff_format(self.BLK) == "blkparse"
+        assert sniff_format(["not a trace at all"]) is None
+
+    def test_load_trace_unsniffable_raises(self, tmp_path):
+        path = tmp_path / "mystery.txt"
+        path.write_text("hello\nworld\n")
+        with pytest.raises(ValueError, match="could not sniff"):
+            load_trace(path)
 
 
 class TestSyntheticWorkloads:
